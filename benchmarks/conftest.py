@@ -1,0 +1,26 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (or an
+ablation called out in DESIGN.md) and writes its text rendering under
+``results/``.  Set ``REPRO_BENCH_PROFILE=full`` for the paper-scale
+sweeps (minutes to hours of pure Python); the default ``quick`` profile
+keeps the whole suite in a few minutes while preserving every
+qualitative shape.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_profile() -> str:
+    """The active experiment profile ("quick" or "full")."""
+    return os.environ.get("REPRO_BENCH_PROFILE", "quick")
+
+
+@pytest.fixture(scope="session")
+def profile() -> str:
+    """Fixture wrapper around :func:`bench_profile`."""
+    return bench_profile()

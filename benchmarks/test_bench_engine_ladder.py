@@ -1,0 +1,103 @@
+"""The engine ladder: every partitioner on one instance.
+
+Not a paper table -- a library-level quality/runtime comparison that
+documents where each engine sits: random construction < greedy growth
+< simulated annealing ~ spectral sweep < spectral+FM ~ flat CLIP FM <
+multilevel.  The assertions pin the ladder's coarse order so an engine
+regression is caught by the benchmark suite.
+"""
+
+import random
+import statistics
+import time
+
+from repro.experiments.circuits import load_instance
+from repro.experiments.reporting import emit
+from repro.partition import (
+    FMBipartitioner,
+    FMConfig,
+    MultilevelBipartitioner,
+    annealing_baseline,
+    cut_size,
+    greedy_baseline,
+    random_balanced_bipartition,
+    random_baseline,
+    spectral_bipartition,
+    spectral_plus_fm,
+)
+
+STARTS = 3
+
+
+def _flat_fm(graph, balance, seed):
+    engine = FMBipartitioner(
+        graph, balance, config=FMConfig(policy="clip")
+    )
+    init = random_balanced_bipartition(
+        graph, balance, rng=random.Random(seed)
+    )
+    return engine.run(init).solution
+
+
+def test_bench_engine_ladder(benchmark):
+    circuit, balance = load_instance("quick01")
+    graph = circuit.graph
+
+    engines = {
+        "random": lambda seed: random_baseline(graph, balance, seed=seed),
+        "greedy-bfs": lambda seed: greedy_baseline(
+            graph, balance, seed=seed
+        ),
+        "annealing": lambda seed: annealing_baseline(
+            graph,
+            balance,
+            seed=seed,
+            moves_per_temperature=2 * graph.num_vertices,
+            cooling=0.85,
+        ),
+        "spectral": lambda seed: spectral_bipartition(
+            graph, balance, seed=seed
+        ),
+        "spectral+fm": lambda seed: spectral_plus_fm(
+            graph, balance, seed=seed
+        ),
+        "flat-clip-fm": lambda seed: _flat_fm(graph, balance, seed),
+        "multilevel": lambda seed: MultilevelBipartitioner(
+            graph, balance=balance
+        ).run(seed=seed).solution,
+    }
+
+    def run():
+        table = {}
+        for name, runner in engines.items():
+            cuts = []
+            seconds = []
+            for s in range(STARTS):
+                t0 = time.perf_counter()
+                solution = runner(31 + s)
+                seconds.append(time.perf_counter() - t0)
+                assert cut_size(graph, solution.parts) == solution.cut
+                cuts.append(solution.cut)
+            table[name] = (
+                statistics.mean(cuts),
+                statistics.mean(seconds),
+            )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        f"{'engine':<14s} {'avg cut':>9s} {'avg sec':>9s}\n"
+        + "\n".join(
+            f"{name:<14s} {cut:>9.1f} {sec:>9.3f}"
+            for name, (cut, sec) in table.items()
+        ),
+        name="bench_engine_ladder",
+        quiet=True,
+    )
+
+    # The coarse ladder ordering (generous factors absorb seed noise).
+    assert table["multilevel"][0] <= table["random"][0] * 0.5
+    assert table["flat-clip-fm"][0] <= table["random"][0]
+    assert table["spectral+fm"][0] <= table["spectral"][0]
+    assert table["greedy-bfs"][0] <= table["random"][0]
+    assert table["multilevel"][0] <= table["flat-clip-fm"][0] * 1.2

@@ -1,0 +1,77 @@
+"""Microbenchmarks of the engines themselves.
+
+Not paper tables -- these track the throughput of the primitives that
+dominate every experiment's runtime, so engine regressions surface in
+``pytest benchmarks/ --benchmark-only`` output directly.
+"""
+
+import random
+
+from repro.experiments.circuits import load_instance
+from repro.hypergraph import contract
+from repro.partition import (
+    FMBipartitioner,
+    FMConfig,
+    GainBucket,
+    MultilevelBipartitioner,
+    heavy_edge_matching,
+    random_balanced_bipartition,
+)
+
+
+def test_bench_gainbucket_churn(benchmark):
+    """Insert/update/pop cycles over a 10k-vertex bucket."""
+    n = 10_000
+    bucket = GainBucket(n, 64)
+
+    def churn():
+        for v in range(n):
+            bucket.insert(v, (v * 37) % 129 - 64)
+        for v in range(0, n, 2):
+            bucket.adjust(v, 1 if bucket.key_of(v) < 64 else -1)
+        while len(bucket):
+            bucket.pop_max()
+
+    benchmark(churn)
+
+
+def test_bench_flat_fm_run(benchmark):
+    """One full flat CLIP-FM run on the quick01 circuit."""
+    circuit, balance = load_instance("quick01")
+    engine = FMBipartitioner(
+        circuit.graph, balance, config=FMConfig(policy="clip")
+    )
+    init = random_balanced_bipartition(
+        circuit.graph, balance, rng=random.Random(21)
+    )
+    result = benchmark(lambda: engine.run(list(init)))
+    assert result.solution.verify_cut(circuit.graph)
+
+
+def test_bench_multilevel_start(benchmark):
+    """One multilevel start on the quick01 circuit."""
+    circuit, balance = load_instance("quick01")
+    engine = MultilevelBipartitioner(circuit.graph, balance=balance)
+    result = benchmark(lambda: engine.run(seed=22))
+    assert result.solution.verify_cut(circuit.graph)
+
+
+def test_bench_heavy_edge_matching(benchmark):
+    """One heavy-edge matching round on the quick03 circuit."""
+    circuit, _ = load_instance("quick03")
+
+    def match():
+        return heavy_edge_matching(
+            circuit.graph, rng=random.Random(23)
+        )
+
+    labels = benchmark(match)
+    assert max(labels) + 1 < circuit.graph.num_vertices
+
+
+def test_bench_contract(benchmark):
+    """One contraction of the quick03 circuit."""
+    circuit, _ = load_instance("quick03")
+    labels = heavy_edge_matching(circuit.graph, rng=random.Random(24))
+    result = benchmark(lambda: contract(circuit.graph, labels))
+    assert result.coarse.num_vertices == max(labels) + 1

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 1 (IBM01-analogue difficulty study).
+
+Emits the six-plot data (raw cut / normalized cut / CPU x good / rand,
+traces for each start count) and asserts the paper's qualitative shapes:
+rand raw cut rises steeply with fixed%, multistart gaps shrink, >=20%
+fixed is solvable in one start, CPU falls with fixed%.
+"""
+
+from repro.core.difficulty import format_study
+from repro.experiments.figures import run_figure, shape_checks
+from repro.experiments.reporting import emit
+
+
+def test_bench_fig1(benchmark, profile):
+    study = benchmark.pedantic(
+        run_figure,
+        args=("fig1", profile),
+        kwargs={"seed": 1},
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_study(study), name=f"bench_fig1_{profile}", quiet=True)
+    failures = [label for label, ok in shape_checks(study) if not ok]
+    assert not failures, failures

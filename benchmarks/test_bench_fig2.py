@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 2 (IBM03-analogue difficulty study)."""
+
+from repro.core.difficulty import format_study
+from repro.experiments.figures import run_figure, shape_checks
+from repro.experiments.reporting import emit
+
+
+def test_bench_fig2(benchmark, profile):
+    study = benchmark.pedantic(
+        run_figure,
+        args=("fig2", profile),
+        kwargs={"seed": 2},
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_study(study), name=f"bench_fig2_{profile}", quiet=True)
+    failures = [label for label, ok in shape_checks(study) if not ok]
+    assert not failures, failures

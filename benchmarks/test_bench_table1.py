@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table I (Rent's-rule block-size thresholds)."""
+
+from repro.core.rent import format_table_one
+from repro.experiments.reporting import emit
+from repro.experiments.table1 import run_table1, shape_checks
+
+
+def test_bench_table1(benchmark):
+    rows = benchmark(run_table1)
+    emit(format_table_one(rows), name="bench_table1", quiet=True)
+    for label, ok in shape_checks(rows):
+        assert ok, label

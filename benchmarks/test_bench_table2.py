@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table II (LIFO-FM pass statistics)."""
+
+from repro.experiments.reporting import emit
+from repro.experiments.table2 import run_table2, shape_checks
+
+
+def test_bench_table2(benchmark, profile):
+    studies = benchmark.pedantic(
+        run_table2,
+        args=(profile,),
+        kwargs={"seed": 3},
+        rounds=1,
+        iterations=1,
+    )
+    text = "\n\n".join(s.format_table() for s in studies.values())
+    emit(text, name=f"bench_table2_{profile}", quiet=True)
+    for study in studies.values():
+        failures = [label for label, ok in shape_checks(study) if not ok]
+        assert not failures, failures

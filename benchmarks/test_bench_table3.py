@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table III (pass-cutoff effects on LIFO-FM)."""
+
+from repro.experiments.reporting import emit
+from repro.experiments.table3 import run_table3, shape_checks
+
+
+def test_bench_table3(benchmark, profile):
+    studies = benchmark.pedantic(
+        run_table3,
+        args=(profile,),
+        kwargs={"seed": 4},
+        rounds=1,
+        iterations=1,
+    )
+    text = "\n\n".join(s.format_table() for s in studies.values())
+    emit(text, name=f"bench_table3_{profile}", quiet=True)
+    for study in studies.values():
+        failures = [label for label, ok in shape_checks(study) if not ok]
+        assert not failures, failures

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table IV (placement-derived benchmark suite)."""
+
+from repro.experiments.reporting import emit
+from repro.experiments.table4 import run_table4, shape_checks
+from repro.placement.suite import format_table
+
+
+def test_bench_table4(benchmark, profile):
+    suites = benchmark.pedantic(
+        run_table4,
+        args=(profile,),
+        kwargs={"seed": 5},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        format_table(suites), name=f"bench_table4_{profile}", quiet=True
+    )
+    failures = [label for label, ok in shape_checks(suites) if not ok]
+    assert not failures, failures

@@ -1,0 +1,60 @@
+"""Miniature Section II study: how fixed terminals change difficulty.
+
+Runs the paper's good/rand protocol on a small synthetic circuit and
+prints the three findings:
+
+1. randomly-fixed terminals drive the achievable cut up steeply;
+2. once ~20% of vertices are fixed, one start is as good as many;
+3. runtime falls as the fixed fraction grows.
+
+Run: ``python examples/fixed_terminals_study.py``   (takes ~1 minute)
+"""
+
+from repro.core import format_study, run_difficulty_study
+from repro.hypergraph import CircuitSpec, generate_circuit
+from repro.partition import relative_bipartition_balance
+
+
+def main() -> None:
+    circuit = generate_circuit(
+        CircuitSpec(num_cells=600, name="study600"), seed=3
+    )
+    balance = relative_bipartition_balance(
+        circuit.graph.total_area, 0.02
+    )
+    study = run_difficulty_study(
+        circuit.graph,
+        balance,
+        circuit_name="study600",
+        percents=(0.0, 5.0, 20.0, 40.0),
+        starts_list=(1, 2, 4),
+        trials=2,
+        seed=11,
+    )
+    print(format_study(study))
+
+    one = dict(study.trace("rand", 1, "normalized_cut"))
+    many = dict(study.trace("rand", 4, "normalized_cut"))
+    print("\nfindings:")
+    raw = dict(study.trace("rand", 1, "raw_cut"))
+    print(
+        f"  rand raw cut {raw[0.0]:.0f} -> {raw[40.0]:.0f} "
+        "as fixed% grows (fixing random vertices constrains the cut)"
+    )
+    print(
+        f"  multistart gap at 0% fixed : {one[0.0] - many[0.0]:+.3f} "
+        "(extra starts help)"
+    )
+    print(
+        f"  multistart gap at 40% fixed: {one[40.0] - many[40.0]:+.3f} "
+        "(one start is enough -- the instance became easy)"
+    )
+    cpu = dict(study.trace("good", 1, "cpu_seconds"))
+    print(
+        f"  per-start CPU {cpu[0.0]:.2f}s -> {cpu[40.0]:.2f}s "
+        "(fewer movable vertices, faster runs)"
+    )
+
+
+if __name__ == "__main__":
+    main()

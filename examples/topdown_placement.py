@@ -1,0 +1,69 @@
+"""Top-down placement: the context that creates fixed-terminals instances.
+
+Places a synthetic circuit by recursive min-cut bisection with terminal
+propagation (the paper's motivating application), compares wirelength
+against a random placement, and shows how deep placement blocks carry
+ever-larger fixed fractions -- the paper's Table I mechanism, observed
+live.
+
+Run: ``python examples/topdown_placement.py``
+"""
+
+import random
+
+from repro.core import constraint_profile
+from repro.hypergraph import CircuitSpec, generate_circuit
+from repro.placement import (
+    Placement,
+    build_suite,
+    format_table,
+    place_circuit,
+)
+
+
+def main() -> None:
+    circuit = generate_circuit(
+        CircuitSpec(num_cells=500, name="demo500"), seed=7
+    )
+    graph = circuit.graph
+    print(
+        f"circuit: {circuit.num_cells} cells, "
+        f"{len(circuit.pad_vertices)} pads, {graph.num_nets} nets"
+    )
+
+    placement = place_circuit(circuit, die_size=1000.0, seed=1)
+    hpwl = placement.half_perimeter_wirelength()
+
+    rng = random.Random(0)
+    scrambled = Placement(
+        die=placement.die,
+        positions=[
+            (rng.uniform(0, 1000), rng.uniform(0, 1000))
+            for _ in range(graph.num_vertices)
+        ],
+        graph=graph,
+        pad_vertices=circuit.pad_vertices,
+    )
+    print(f"top-down placement HPWL: {hpwl:12.0f}")
+    print(f"random placement HPWL  : {scrambled.half_perimeter_wirelength():12.0f}")
+
+    # Derive the A..D block series and show the growing fixed fraction.
+    suite = build_suite(circuit, "demo500", placement=placement)
+    print("\nderived fixed-terminals instances (Table IV format):")
+    print(format_table([suite]))
+
+    print("\ndegree of constraint per block (deeper => more anchored):")
+    for entry in suite.entries:
+        if entry.cut_axis != "V":
+            continue
+        inst = entry.instance
+        profile = constraint_profile(inst.graph, inst.hard_fixture())
+        print(
+            f"  {inst.name:<24s} fixed {profile.fixed_fraction:6.1%}  "
+            f"anchored-free {profile.anchored_vertex_fraction:6.1%}  "
+            f"anchored-nets {profile.anchored_net_fraction:6.1%}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""repro: hypergraph partitioning with fixed vertices.
+
+A from-scratch reproduction of Alpert, Caldwell, Kahng and Markov,
+"Hypergraph Partitioning with Fixed Vertices" (IEEE TCAD 19(2), 2000):
+the multilevel/flat FM partitioning engines, the fixed-terminals
+experimental protocol, the pass-cutoff heuristic, the Rent's-rule
+motivation, and the placement-derived benchmark methodology.
+"""
+
+__version__ = "1.0.0"

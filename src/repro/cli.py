@@ -1,0 +1,405 @@
+"""Command-line interface.
+
+Exposes the library's main workflows without writing Python::
+
+    python -m repro generate  --cells 1000 --out circ_dir --name mychip
+    python -m repro partition --dir circ_dir --name mychip --engine multilevel
+    python -m repro place     --cells 800 --suite-out suite_dir --name chip
+    python -m repro stats     --dir circ_dir --name mychip
+    python -m repro experiment table2 --profile quick
+
+All subcommands are deterministic under ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core import bipartition_instance, constraint_profile
+from repro.core.instance import PartitioningInstance
+from repro.hypergraph import CircuitSpec, compute_stats, generate_circuit
+from repro.io import read_bookshelf, write_bookshelf, write_netd
+from repro.partition import (
+    FMBipartitioner,
+    FMConfig,
+    MultilevelBipartitioner,
+    block_loads,
+    kway_fm_partition,
+    random_balanced_bipartition,
+    relative_balance,
+)
+from repro.placement import build_suite, format_table, place_circuit
+
+ENGINES = ("multilevel", "fm", "kway")
+EXPERIMENTS = (
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig1",
+    "fig2",
+    "multiway",
+    "overconstrained",
+    "suite-solutions",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Hypergraph partitioning with fixed vertices "
+            "(Alpert/Caldwell/Kahng/Markov reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser(
+        "generate", help="synthesize a circuit and write it to disk"
+    )
+    gen.add_argument("--cells", type=int, default=1000)
+    gen.add_argument("--name", default="circuit")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True, help="output directory")
+    gen.add_argument(
+        "--format",
+        choices=("bookshelf", "netd", "both"),
+        default="bookshelf",
+    )
+
+    part = sub.add_parser(
+        "partition", help="partition a saved bookshelf instance"
+    )
+    part.add_argument("--dir", required=True, help="instance directory")
+    part.add_argument("--name", required=True, help="instance name")
+    part.add_argument("--engine", choices=ENGINES, default="multilevel")
+    part.add_argument("--starts", type=int, default=1)
+    part.add_argument("--seed", type=int, default=0)
+    part.add_argument(
+        "--parts", type=int, default=None,
+        help="override block count (kway engine only)",
+    )
+    part.add_argument(
+        "--cutoff", type=float, default=1.0,
+        help="pass move-limit fraction (Section III heuristic)",
+    )
+    part.add_argument(
+        "--save", default=None,
+        help="write the block of each vertex to this file",
+    )
+
+    place = sub.add_parser(
+        "place", help="place a synthetic circuit and derive benchmarks"
+    )
+    place.add_argument("--cells", type=int, default=800)
+    place.add_argument("--name", default="chip")
+    place.add_argument("--seed", type=int, default=0)
+    place.add_argument(
+        "--suite-out", default=None,
+        help="write the derived A..D instances to this directory",
+    )
+
+    stats = sub.add_parser(
+        "stats", help="print statistics of a saved instance"
+    )
+    stats.add_argument("--dir", required=True)
+    stats.add_argument("--name", required=True)
+
+    evaluate = sub.add_parser(
+        "evaluate",
+        help="verify a saved assignment against an instance",
+    )
+    evaluate.add_argument("--dir", required=True)
+    evaluate.add_argument("--name", required=True)
+    evaluate.add_argument(
+        "--assignment", required=True,
+        help="file of '<node> <block>' lines (see partition --save)",
+    )
+
+    exp = sub.add_parser("experiment", help="run a paper experiment")
+    exp.add_argument("which", choices=EXPERIMENTS)
+    exp.add_argument(
+        "--profile", choices=("quick", "full"), default="quick"
+    )
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_generate(args: argparse.Namespace) -> int:
+    circuit = generate_circuit(
+        CircuitSpec(num_cells=args.cells, name=args.name), seed=args.seed
+    )
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    if args.format in ("bookshelf", "both"):
+        instance = bipartition_instance(
+            circuit.graph,
+            pad_vertices=circuit.pad_vertices,
+            name=args.name,
+        )
+        write_bookshelf(instance, out)
+    if args.format in ("netd", "both"):
+        write_netd(
+            circuit.graph,
+            out / f"{args.name}.net",
+            out / f"{args.name}.are",
+            pad_vertices=circuit.pad_vertices,
+        )
+    s = compute_stats(circuit.graph)
+    print(
+        f"generated {args.name}: {circuit.num_cells} cells, "
+        f"{len(circuit.pad_vertices)} pads, {s.num_nets} nets, "
+        f"{s.num_pins} pins -> {out}/"
+    )
+    return 0
+
+
+def _load(args: argparse.Namespace) -> PartitioningInstance:
+    return read_bookshelf(args.dir, args.name)
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    instance = _load(args)
+    graph = instance.graph
+    fixture = instance.hard_fixture()
+    t0 = time.perf_counter()
+    if args.engine == "kway":
+        num_parts = args.parts or instance.num_parts
+        balance = relative_balance(graph.total_area, num_parts, 0.1)
+        best = None
+        for start in range(args.starts):
+            result = kway_fm_partition(
+                graph,
+                balance,
+                fixture=fixture if num_parts == instance.num_parts else None,
+                seed=args.seed + start,
+            )
+            if best is None or result.cut < best.cut:
+                best = result
+        parts, cut = best.parts, best.cut
+    elif args.engine == "multilevel":
+        if instance.num_parts != 2:
+            print("multilevel engine is 2-way; use --engine kway")
+            return 2
+        engine = MultilevelBipartitioner(
+            graph, balance=instance.balance, fixture=fixture
+        )
+        best = None
+        for start in range(args.starts):
+            result = engine.run(seed=args.seed + start)
+            if best is None or result.solution.cut < best.solution.cut:
+                best = result
+        parts, cut = best.solution.parts, best.solution.cut
+    else:  # flat FM
+        if instance.num_parts != 2:
+            print("fm engine is 2-way; use --engine kway")
+            return 2
+        import random
+
+        engine = FMBipartitioner(
+            graph,
+            instance.balance,
+            fixture=fixture,
+            config=FMConfig(pass_move_limit_fraction=args.cutoff),
+        )
+        best_cut = None
+        parts = []
+        for start in range(args.starts):
+            init = random_balanced_bipartition(
+                graph,
+                instance.balance,
+                fixture=fixture,
+                rng=random.Random(args.seed + start),
+            )
+            result = engine.run(init)
+            if best_cut is None or result.solution.cut < best_cut:
+                best_cut = result.solution.cut
+                parts = result.solution.parts
+        cut = best_cut
+    elapsed = time.perf_counter() - t0
+
+    loads = block_loads(graph, parts, max(parts) + 1)
+    print(
+        f"{args.name}: cut {cut} with {args.engine} engine "
+        f"({args.starts} start(s), {elapsed:.2f}s)"
+    )
+    print(
+        "block loads: "
+        + " ".join(f"{load:.1f}" for load in loads)
+    )
+    if not instance.is_assignment_legal(parts):
+        print("WARNING: OR-fixture constraints not all satisfied")
+    if args.save:
+        Path(args.save).write_text(
+            "\n".join(
+                f"{graph.vertex_name(v)} {parts[v]}"
+                for v in range(graph.num_vertices)
+            )
+            + "\n"
+        )
+        print(f"assignment written to {args.save}")
+    return 0
+
+
+def _cmd_place(args: argparse.Namespace) -> int:
+    circuit = generate_circuit(
+        CircuitSpec(num_cells=args.cells, name=args.name), seed=args.seed
+    )
+    placement = place_circuit(circuit, seed=args.seed)
+    print(
+        f"placed {args.name}: HPWL = "
+        f"{placement.half_perimeter_wirelength():.0f}"
+    )
+    suite = build_suite(circuit, args.name, placement=placement)
+    print(format_table([suite]))
+    if args.suite_out:
+        out = Path(args.suite_out)
+        for entry in suite.entries:
+            write_bookshelf(entry.instance, out)
+        print(f"{len(suite.entries)} instances written to {out}/")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    instance = _load(args)
+    s = compute_stats(instance.graph)
+    print(f"instance {args.name}:")
+    print(f"  {s.format_row()}")
+    print(
+        f"  partitions: {instance.num_parts}, fixed vertices: "
+        f"{instance.num_fixed} ({instance.fixed_fraction:.1%}), "
+        f"terminals: {len(instance.pad_vertices)}"
+    )
+    profile = constraint_profile(
+        instance.graph, instance.hard_fixture()
+    )
+    print(profile.format_profile())
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.partition.solution import cut_size
+
+    instance = _load(args)
+    graph = instance.graph
+    index = {
+        graph.vertex_name(v): v for v in range(graph.num_vertices)
+    }
+    parts = [None] * graph.num_vertices
+    for lineno, line in enumerate(
+        Path(args.assignment).read_text().splitlines(), start=1
+    ):
+        tokens = line.split()
+        if not tokens:
+            continue
+        if len(tokens) != 2 or tokens[0] not in index:
+            print(f"{args.assignment}:{lineno}: bad line {line!r}")
+            return 2
+        try:
+            block = int(tokens[1])
+        except ValueError:
+            print(f"{args.assignment}:{lineno}: bad block {tokens[1]!r}")
+            return 2
+        if not 0 <= block < instance.num_parts:
+            print(
+                f"{args.assignment}:{lineno}: block {block} outside "
+                f"[0, {instance.num_parts})"
+            )
+            return 2
+        parts[index[tokens[0]]] = block
+    missing = [v for v, p in enumerate(parts) if p is None]
+    if missing:
+        print(
+            f"assignment misses {len(missing)} vertex/vertices, "
+            f"e.g. {graph.vertex_name(missing[0])}"
+        )
+        return 2
+
+    cut = cut_size(graph, parts)
+    loads = block_loads(graph, parts, instance.num_parts)
+    legal_fixture = instance.is_assignment_legal(parts)
+    balance = instance.balance
+    if hasattr(balance, "constraints"):  # multi-resource instance
+        per_resource = [
+            [
+                sum(
+                    graph.resource(v, r)
+                    for v in range(graph.num_vertices)
+                    if parts[v] == b
+                )
+                for b in range(instance.num_parts)
+            ]
+            for r in range(balance.num_resources)
+        ]
+        feasible = balance.is_feasible(per_resource)
+    else:
+        feasible = balance.is_feasible(loads)
+    print(f"{args.name}: cut {cut}")
+    print(
+        "block loads: " + " ".join(f"{load:.1f}" for load in loads)
+    )
+    print(f"fixture constraints : {'OK' if legal_fixture else 'VIOLATED'}")
+    print(f"balance constraints : {'OK' if feasible else 'VIOLATED'}")
+    return 0 if (legal_fixture and feasible) else 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.which == "table1":
+        from repro.experiments.table1 import main as run
+
+        run()
+    elif args.which == "table2":
+        from repro.experiments.table2 import main as run
+
+        run([args.profile])
+    elif args.which == "table3":
+        from repro.experiments.table3 import main as run
+
+        run([args.profile])
+    elif args.which == "table4":
+        from repro.experiments.table4 import main as run
+
+        run([args.profile])
+    elif args.which in ("fig1", "fig2"):
+        from repro.experiments.figures import main as run
+
+        run([args.which, args.profile])
+    elif args.which == "multiway":
+        from repro.experiments.multiway import main as run
+
+        run([args.profile])
+    elif args.which == "suite-solutions":
+        from repro.experiments.suite_solutions import main as run
+
+        run([args.profile])
+    else:
+        from repro.experiments.overconstrained import main as run
+
+        run([args.profile])
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(
+        list(argv) if argv is not None else sys.argv[1:]
+    )
+    handlers = {
+        "generate": _cmd_generate,
+        "partition": _cmd_partition,
+        "place": _cmd_place,
+        "stats": _cmd_stats,
+        "evaluate": _cmd_evaluate,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

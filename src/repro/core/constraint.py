@@ -1,0 +1,133 @@
+"""Degree-of-constraint measures for fixed-terminals instances.
+
+Section V poses an open problem: "it is not yet clear how to measure the
+strength of fixed terminals, or alternatively the degree of constraint
+in particular problem instances" -- noting that the raw fixed *count* is
+not invariant (clustering all terminals into two super-terminals leaves
+difficulty unchanged while collapsing the count).  This module offers
+the naive measure plus several clustering-invariant candidates built
+from *how much of the hypergraph the terminals touch* rather than how
+many they are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.partition.solution import FREE
+
+
+@dataclass(frozen=True)
+class ConstraintProfile:
+    """All measures for one (graph, fixture) instance."""
+
+    fixed_fraction: float
+    anchored_vertex_fraction: float
+    anchored_net_fraction: float
+    anchored_pin_fraction: float
+    contested_net_fraction: float
+    terminal_weight_fraction: float
+
+    def format_profile(self) -> str:
+        """Multi-line text rendering."""
+        return "\n".join(
+            [
+                f"fixed vertices          : {self.fixed_fraction:7.2%}",
+                f"anchored free vertices  : "
+                f"{self.anchored_vertex_fraction:7.2%}",
+                f"anchored nets           : {self.anchored_net_fraction:7.2%}",
+                f"anchored pins           : {self.anchored_pin_fraction:7.2%}",
+                f"contested nets          : "
+                f"{self.contested_net_fraction:7.2%}",
+                f"terminal weight share   : "
+                f"{self.terminal_weight_fraction:7.2%}",
+            ]
+        )
+
+
+def constraint_profile(
+    graph: Hypergraph, fixture: Sequence[int]
+) -> ConstraintProfile:
+    """Compute all degree-of-constraint measures.
+
+    * ``fixed_fraction`` -- the paper's x-axis; NOT clustering-invariant.
+    * ``anchored_vertex_fraction`` -- free vertices sharing a net with a
+      fixed vertex; invariant (membership doesn't change when terminals
+      merge).
+    * ``anchored_net_fraction`` / ``anchored_pin_fraction`` -- nets /
+      free-pin incidences touching a fixed vertex; invariant.
+    * ``contested_net_fraction`` -- nets anchored to *both* blocks (their
+      cut state cannot be fully decided by either side); invariant.
+    * ``terminal_weight_fraction`` -- net weight incident to fixed
+      vertices over total net weight incident to anything; invariant
+      under terminal clustering because parallel-net merging preserves
+      summed weights.
+    """
+    n = graph.num_vertices
+    if len(fixture) != n:
+        raise ValueError("fixture length mismatch")
+    fixed = [f != FREE for f in fixture]
+    num_fixed = sum(fixed)
+
+    anchored_free = 0
+    anchored_nets = 0
+    contested_nets = 0
+    anchored_pins = 0
+    free_pins = 0
+    anchored_weight = 0
+    total_weight = 0
+
+    live_nets = 0
+    net_touches_fixed = [False] * graph.num_nets
+    for e in range(graph.num_nets):
+        pins = graph.net_pins(e)
+        sides = {fixture[v] for v in pins if fixed[v]}
+        # Nets with every pin fixed in one block can never be cut; they
+        # carry no constraint information and are exactly the nets the
+        # terminal-clustering transform erases, so skipping them keeps
+        # the measures clustering-invariant.
+        if len(sides) == 1 and all(fixed[v] for v in pins):
+            continue
+        live_nets += 1
+        w = graph.net_weight(e)
+        total_weight += w
+        if sides:
+            net_touches_fixed[e] = True
+            anchored_nets += 1
+            anchored_weight += w
+            if len(sides) > 1:
+                contested_nets += 1
+        for v in pins:
+            if not fixed[v]:
+                free_pins += 1
+                if sides:
+                    anchored_pins += 1
+
+    for v in range(n):
+        if fixed[v]:
+            continue
+        if any(net_touches_fixed[e] for e in graph.vertex_nets(v)):
+            anchored_free += 1
+
+    num_free = n - num_fixed
+    num_nets = live_nets
+    return ConstraintProfile(
+        fixed_fraction=num_fixed / n if n else 0.0,
+        anchored_vertex_fraction=(
+            anchored_free / num_free if num_free else 0.0
+        ),
+        anchored_net_fraction=(
+            anchored_nets / num_nets if num_nets else 0.0
+        ),
+        anchored_pin_fraction=(
+            anchored_pins / free_pins if free_pins else 0.0
+        ),
+        contested_net_fraction=(
+            contested_nets / num_nets if num_nets else 0.0
+        ),
+        terminal_weight_fraction=(
+            anchored_weight / total_weight if total_weight else 0.0
+        ),
+    )

@@ -1,0 +1,160 @@
+"""Pass-cutoff heuristic study (Table III).
+
+Section III's proposal: after the first pass, cut every FM pass off once
+50% / 25% / 10% / 5% of the movable vertices have moved.  Table III
+reports average cut (average CPU seconds) for single LIFO-FM starts per
+(cutoff, fixed-percentage) cell.  The expected shape: cutoffs hurt cut
+quality without terminals, are harmless with >= 20% terminals, and cut
+runtime everywhere.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.regimes import (
+    FixedVertexSchedule,
+    find_good_solution,
+    make_schedule,
+    regime_fixture,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.partition.balance import BalanceConstraint
+from repro.partition.fm import FMBipartitioner, FMConfig
+from repro.partition.initial import random_balanced_bipartition
+
+PAPER_CUTOFFS = (1.0, 0.5, 0.25, 0.10, 0.05)
+"""Move-limit fractions: 1.0 is the uncut baseline column."""
+
+
+@dataclass(frozen=True)
+class CutoffCell:
+    """One (percent, cutoff) cell: avg cut and avg CPU seconds."""
+
+    percent: float
+    cutoff: float
+    avg_cut: float
+    avg_seconds: float
+    avg_moves: float
+
+    def format_cell(self) -> str:
+        """Paper-style "cut (seconds)" cell."""
+        return f"{self.avg_cut:8.1f} ({self.avg_seconds:6.3f}s)"
+
+
+@dataclass
+class CutoffStudy:
+    """Table III for one circuit."""
+
+    circuit_name: str
+    regime: str
+    cutoffs: Sequence[float]
+    percents: Sequence[float]
+    cells: List[CutoffCell] = field(default_factory=list)
+
+    def cell(self, percent: float, cutoff: float) -> CutoffCell:
+        """Look up one table cell."""
+        for c in self.cells:
+            if c.percent == percent and c.cutoff == cutoff:
+                return c
+        raise KeyError((percent, cutoff))
+
+    def format_table(self) -> str:
+        """Text rendering: one row per fixed%, one column per cutoff."""
+        lines = [
+            f"Pass-cutoff study: {self.circuit_name} "
+            f"({self.regime} regime); cells are avg cut (avg CPU)"
+        ]
+        header = f"{'fixed%':>7s}" + "".join(
+            f" | {'no cutoff' if c >= 1.0 else f'{c:.0%} moves':>18s}"
+            for c in self.cutoffs
+        )
+        lines.append(header)
+        for percent in self.percents:
+            row = [f"{percent:>7.1f}"]
+            for cutoff in self.cutoffs:
+                row.append(f" | {self.cell(percent, cutoff).format_cell()}")
+            lines.append("".join(row))
+        return "\n".join(lines)
+
+
+def run_cutoff_study(
+    graph: Hypergraph,
+    balance: BalanceConstraint,
+    circuit_name: str = "circuit",
+    percents: Sequence[float] = (0.0, 10.0, 20.0, 30.0),
+    cutoffs: Sequence[float] = PAPER_CUTOFFS,
+    regime: str = "good",
+    runs: int = 10,
+    seed: int = 0,
+    schedule: Optional[FixedVertexSchedule] = None,
+    good_solution: Optional[Sequence[int]] = None,
+    policy: str = "lifo",
+) -> CutoffStudy:
+    """Run Table III's measurement (single-start LIFO FM per run).
+
+    All cutoffs share the same per-run initial solutions so the columns
+    are paired samples -- differences come from the cutoff alone.
+    """
+    rng = random.Random(seed)
+    if schedule is None:
+        schedule = make_schedule(graph, seed=rng.getrandbits(32))
+    if regime == "good" and good_solution is None:
+        good_solution = find_good_solution(
+            graph, balance, seed=rng.getrandbits(32)
+        ).parts
+    rand_fix_seed = rng.getrandbits(32)
+
+    study = CutoffStudy(
+        circuit_name=circuit_name,
+        regime=regime,
+        cutoffs=tuple(cutoffs),
+        percents=tuple(percents),
+    )
+    for percent in percents:
+        fixture = regime_fixture(
+            regime,
+            schedule,
+            percent,
+            good_solution=good_solution,
+            seed=rand_fix_seed,
+        )
+        inits = []
+        for _ in range(runs):
+            inits.append(
+                random_balanced_bipartition(
+                    graph, balance, fixture=fixture,
+                    rng=random.Random(rng.getrandbits(32)),
+                )
+            )
+        for cutoff in cutoffs:
+            engine = FMBipartitioner(
+                graph,
+                balance,
+                fixture=fixture,
+                config=FMConfig(
+                    policy=policy, pass_move_limit_fraction=cutoff
+                ),
+            )
+            cuts: List[int] = []
+            seconds: List[float] = []
+            moves: List[int] = []
+            for init in inits:
+                t0 = time.perf_counter()
+                result = engine.run(list(init))
+                seconds.append(time.perf_counter() - t0)
+                cuts.append(result.solution.cut)
+                moves.append(result.total_moves)
+            study.cells.append(
+                CutoffCell(
+                    percent=percent,
+                    cutoff=cutoff,
+                    avg_cut=sum(cuts) / len(cuts),
+                    avg_seconds=sum(seconds) / len(seconds),
+                    avg_moves=sum(moves) / len(moves),
+                )
+            )
+    return study

@@ -1,0 +1,152 @@
+"""Partitioning instances with fixed terminals.
+
+Section IV of the paper proposes benchmark instances that carry, besides
+the hypergraph, the partition geometry/capacities and a *flexible* fixed
+assignment: a terminal may be fixed in one partition, or in any of a set
+of partitions ("the multiple assignment is interpreted as an or", e.g. a
+propagated terminal allowed in either left-side quadrant of a
+quadrisection).  :class:`PartitioningInstance` is that bundle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Sequence, Union
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.partition.balance import (
+    BalanceConstraint,
+    MultiBalanceConstraint,
+    relative_balance,
+)
+from repro.partition.solution import FREE
+
+FixtureSet = Optional[FrozenSet[int]]
+"""Per-vertex constraint: ``None`` = free, else the allowed partitions."""
+
+
+@dataclass
+class PartitioningInstance:
+    """A hypergraph + partitions + balance + fixed assignments.
+
+    ``fixture_sets[v]`` is ``None`` for a free vertex or a frozen set of
+    allowed partitions (OR semantics).  A singleton set is a hard fix.
+    """
+
+    graph: Hypergraph
+    num_parts: int
+    balance: Union[BalanceConstraint, MultiBalanceConstraint]
+    fixture_sets: List[FixtureSet] = field(default_factory=list)
+    pad_vertices: List[int] = field(default_factory=list)
+    name: str = "instance"
+
+    def __post_init__(self) -> None:
+        if self.num_parts < 1:
+            raise ValueError("num_parts must be positive")
+        if self.balance.num_parts != self.num_parts:
+            raise ValueError(
+                f"balance covers {self.balance.num_parts} blocks, "
+                f"instance declares {self.num_parts}"
+            )
+        n = self.graph.num_vertices
+        if not self.fixture_sets:
+            self.fixture_sets = [None] * n
+        if len(self.fixture_sets) != n:
+            raise ValueError(
+                f"fixture_sets has length {len(self.fixture_sets)}, "
+                f"expected {n}"
+            )
+        for v, fs in enumerate(self.fixture_sets):
+            if fs is None:
+                continue
+            if not fs:
+                raise ValueError(f"vertex {v} has an empty fixture set")
+            for p in fs:
+                if not 0 <= p < self.num_parts:
+                    raise ValueError(
+                        f"vertex {v} fixed in invalid partition {p}"
+                    )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_fixed(self) -> int:
+        """Vertices with any fixture constraint (including OR sets)."""
+        return sum(1 for fs in self.fixture_sets if fs is not None)
+
+    @property
+    def num_hard_fixed(self) -> int:
+        """Vertices pinned to exactly one partition."""
+        return sum(
+            1 for fs in self.fixture_sets if fs is not None and len(fs) == 1
+        )
+
+    @property
+    def fixed_fraction(self) -> float:
+        """Fraction of vertices carrying a fixture constraint."""
+        n = self.graph.num_vertices
+        return self.num_fixed / n if n else 0.0
+
+    def hard_fixture(self) -> List[int]:
+        """Reduce to the engines' fixture vector.
+
+        Singleton sets become hard fixes; OR sets (more than one allowed
+        partition) are relaxed to FREE -- the engines treat the vertex as
+        movable and :meth:`is_assignment_legal` re-checks the OR
+        constraint on the final solution.
+        """
+        out = []
+        for fs in self.fixture_sets:
+            if fs is not None and len(fs) == 1:
+                out.append(next(iter(fs)))
+            else:
+                out.append(FREE)
+        return out
+
+    def is_assignment_legal(self, parts: Sequence[int]) -> bool:
+        """Whether ``parts`` satisfies every fixture set (OR semantics)."""
+        return all(
+            fs is None or p in fs
+            for p, fs in zip(parts, self.fixture_sets)
+        )
+
+    def fix_vertex(self, vertex: int, partitions: Union[int, Sequence[int]]) -> None:
+        """Fix ``vertex`` into one partition or any of several."""
+        if isinstance(partitions, int):
+            partitions = [partitions]
+        fs = frozenset(partitions)
+        for p in fs:
+            if not 0 <= p < self.num_parts:
+                raise ValueError(f"invalid partition {p}")
+        if not fs:
+            raise ValueError("fixture set must be non-empty")
+        self.fixture_sets[vertex] = fs
+
+    def free_vertex(self, vertex: int) -> None:
+        """Remove any fixture constraint from ``vertex``."""
+        self.fixture_sets[vertex] = None
+
+
+def bipartition_instance(
+    graph: Hypergraph,
+    tolerance: float = 0.02,
+    fixture: Optional[Sequence[int]] = None,
+    pad_vertices: Sequence[int] = (),
+    name: str = "instance",
+) -> PartitioningInstance:
+    """Convenience constructor for the paper's standard setting: 2-way,
+    relative tolerance on actual areas, optional hard fixture vector."""
+    fixture_sets: List[FixtureSet]
+    if fixture is None:
+        fixture_sets = [None] * graph.num_vertices
+    else:
+        fixture_sets = [
+            None if f == FREE else frozenset([f]) for f in fixture
+        ]
+    return PartitioningInstance(
+        graph=graph,
+        num_parts=2,
+        balance=relative_balance(graph.total_area, 2, tolerance),
+        fixture_sets=fixture_sets,
+        pad_vertices=list(pad_vertices),
+        name=name,
+    )

@@ -1,0 +1,169 @@
+"""FM pass statistics in the fixed-terminals regime (Table II).
+
+Section III's motivating measurement: run flat LIFO-FM from random
+starts and record, per run, the number of passes, and per pass (beyond
+the first) the percentage of movable vertices moved, where in the pass
+the best prefix occurred, and how many moves were wasted (undone by the
+rollback).  The paper's headline: with more fixed terminals, the best
+prefix occurs earlier -- ever more of each pass is wasted work.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.regimes import (
+    FixedVertexSchedule,
+    find_good_solution,
+    make_schedule,
+    regime_fixture,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.partition.balance import BalanceConstraint
+from repro.partition.fm import FMBipartitioner, FMConfig
+from repro.partition.initial import random_balanced_bipartition
+
+
+@dataclass(frozen=True)
+class PassStatsRow:
+    """Aggregated pass statistics at one fixed percentage."""
+
+    percent: float
+    runs: int
+    avg_passes_per_run: float
+    avg_moved_percent: float
+    avg_best_prefix_percent: float
+    avg_wasted_percent: float
+    avg_final_cut: float
+
+    def format_row(self) -> str:
+        """Fixed-width text row."""
+        return (
+            f"{self.percent:>7.1f} {self.avg_passes_per_run:>7.2f} "
+            f"{self.avg_moved_percent:>8.1f} "
+            f"{self.avg_best_prefix_percent:>10.1f} "
+            f"{self.avg_wasted_percent:>9.1f} {self.avg_final_cut:>9.1f}"
+        )
+
+
+TABLE_II_HEADER = (
+    f"{'fixed%':>7s} {'passes':>7s} {'moved%':>8s} "
+    f"{'bestpref%':>10s} {'wasted%':>9s} {'cut':>9s}"
+)
+
+
+@dataclass
+class PassStatsStudy:
+    """Table II for one circuit."""
+
+    circuit_name: str
+    regime: str
+    rows: List[PassStatsRow] = field(default_factory=list)
+
+    def row(self, percent: float) -> PassStatsRow:
+        """Row at one percentage."""
+        for r in self.rows:
+            if r.percent == percent:
+                return r
+        raise KeyError(percent)
+
+    def format_table(self) -> str:
+        """Text rendering."""
+        return "\n".join(
+            [
+                f"Pass statistics: {self.circuit_name} "
+                f"({self.regime} regime)",
+                TABLE_II_HEADER,
+            ]
+            + [r.format_row() for r in self.rows]
+        )
+
+
+def run_pass_stats_study(
+    graph: Hypergraph,
+    balance: BalanceConstraint,
+    circuit_name: str = "circuit",
+    percents: Sequence[float] = (0.0, 10.0, 20.0, 30.0),
+    regime: str = "good",
+    runs: int = 20,
+    seed: int = 0,
+    schedule: Optional[FixedVertexSchedule] = None,
+    good_solution: Optional[Sequence[int]] = None,
+    policy: str = "lifo",
+) -> PassStatsStudy:
+    """Run Table II's measurement.
+
+    Per-pass percentages exclude the first pass of each run ("excluding
+    the first pass"), which always moves many vertices because it starts
+    from a random partitioning.  Runs whose FM took a single pass
+    contribute to the pass count but not to the per-pass averages.
+    """
+    rng = random.Random(seed)
+    if schedule is None:
+        schedule = make_schedule(graph, seed=rng.getrandbits(32))
+    if regime == "good" and good_solution is None:
+        good_solution = find_good_solution(
+            graph, balance, seed=rng.getrandbits(32)
+        ).parts
+    rand_fix_seed = rng.getrandbits(32)
+
+    study = PassStatsStudy(circuit_name=circuit_name, regime=regime)
+    for percent in percents:
+        fixture = regime_fixture(
+            regime,
+            schedule,
+            percent,
+            good_solution=good_solution,
+            seed=rand_fix_seed,
+        )
+        engine = FMBipartitioner(
+            graph, balance, fixture=fixture, config=FMConfig(policy=policy)
+        )
+        passes_per_run: List[int] = []
+        moved: List[float] = []
+        best_prefix: List[float] = []
+        wasted: List[float] = []
+        cuts: List[int] = []
+        for _ in range(runs):
+            init = random_balanced_bipartition(
+                graph, balance, fixture=fixture,
+                rng=random.Random(rng.getrandbits(32)),
+            )
+            result = engine.run(init)
+            passes_per_run.append(result.num_passes)
+            cuts.append(result.solution.cut)
+            for record in result.passes[1:]:
+                if record.movable == 0:
+                    continue
+                moved.append(100.0 * record.moved_fraction)
+                if record.moves_made:
+                    best_prefix.append(
+                        100.0 * record.best_prefix_fraction
+                    )
+                    wasted.append(
+                        100.0 * record.wasted_moves / record.moves_made
+                    )
+        study.rows.append(
+            PassStatsRow(
+                percent=percent,
+                runs=runs,
+                avg_passes_per_run=_mean(passes_per_run),
+                avg_moved_percent=_mean(moved),
+                avg_best_prefix_percent=_mean(best_prefix),
+                avg_wasted_percent=_mean(wasted),
+                avg_final_cut=_mean(cuts),
+            )
+        )
+    return study
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def wasted_move_trend(study: PassStatsStudy) -> List[Tuple[float, float]]:
+    """(percent, wasted%) series -- the paper's headline trend, which
+    should increase with the fixed percentage."""
+    return [(r.percent, r.avg_wasted_percent) for r in study.rows]

@@ -1,0 +1,110 @@
+"""Rent's-rule model of propagated terminals (Table I).
+
+Rent's rule: a block of ``C`` cells in a layout with Rent parameter
+``p`` has on average ``T = k * C**p`` external/propagated terminals,
+with ``k`` the average pins per cell (~3.5 for modern designs, per the
+paper).  In a top-down placement such a block becomes a partitioning
+instance of ``C + T`` vertices of which ``T`` are fixed, so the expected
+fixed fraction is ``T / (C + T)`` -- and Table I reports the block sizes
+below which that fraction exceeds 5%, 10% or 20%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+DEFAULT_PINS_PER_CELL = 3.5
+"""The paper's ``k``: average pins per cell for modern designs."""
+
+DEFAULT_RENT_PARAMETERS = (0.55, 0.60, 0.65, 0.68, 0.70, 0.75)
+"""Rent exponents spanning the estimates the paper cites (~0.68)."""
+
+DEFAULT_THRESHOLDS = (0.05, 0.10, 0.20)
+"""Table I's fixed-fraction thresholds: 5%, 10%, 20%."""
+
+
+def expected_terminals(
+    block_cells: float, rent_exponent: float,
+    pins_per_cell: float = DEFAULT_PINS_PER_CELL,
+) -> float:
+    """``T = k * C**p`` (Region-I Rent fit)."""
+    if block_cells < 0:
+        raise ValueError("block size must be non-negative")
+    if not 0 < rent_exponent < 1:
+        raise ValueError("Rent exponent must be in (0, 1)")
+    if pins_per_cell <= 0:
+        raise ValueError("pins per cell must be positive")
+    return pins_per_cell * block_cells**rent_exponent
+
+
+def fixed_fraction(
+    block_cells: float, rent_exponent: float,
+    pins_per_cell: float = DEFAULT_PINS_PER_CELL,
+) -> float:
+    """Expected fraction of fixed vertices, ``T / (C + T)``."""
+    if block_cells == 0:
+        return 1.0
+    t = expected_terminals(block_cells, rent_exponent, pins_per_cell)
+    return t / (block_cells + t)
+
+
+def block_size_threshold(
+    fraction: float,
+    rent_exponent: float,
+    pins_per_cell: float = DEFAULT_PINS_PER_CELL,
+) -> float:
+    """Largest block size whose expected fixed fraction is >= ``fraction``.
+
+    Closed form: ``T/(C+T) >= f`` iff ``C**(1-p) <= k (1-f)/f``, i.e.
+    ``C <= (k (1-f)/f) ** (1/(1-p))``.  The fixed fraction decreases
+    monotonically in ``C``, so every smaller block also exceeds ``f``.
+    """
+    if not 0 < fraction < 1:
+        raise ValueError("fraction must be in (0, 1)")
+    if not 0 < rent_exponent < 1:
+        raise ValueError("Rent exponent must be in (0, 1)")
+    bound = pins_per_cell * (1.0 - fraction) / fraction
+    return bound ** (1.0 / (1.0 - rent_exponent))
+
+
+@dataclass(frozen=True)
+class TableOneRow:
+    """One row of Table I: thresholds for a given Rent exponent."""
+
+    rent_exponent: float
+    block_sizes: List[int]  # aligned with the thresholds column order
+
+    def format_row(self, thresholds: Sequence[float]) -> str:
+        """Fixed-width row for text output."""
+        cells = " ".join(f"{s:>12,d}" for s in self.block_sizes)
+        del thresholds
+        return f"p={self.rent_exponent:<6.2f} {cells}"
+
+
+def table_one(
+    rent_exponents: Sequence[float] = DEFAULT_RENT_PARAMETERS,
+    thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
+    pins_per_cell: float = DEFAULT_PINS_PER_CELL,
+) -> List[TableOneRow]:
+    """Compute Table I: block sizes below which the expected number of
+    fixed vertices exceeds each threshold percentage."""
+    rows = []
+    for p in rent_exponents:
+        sizes = [
+            int(block_size_threshold(f, p, pins_per_cell))
+            for f in thresholds
+        ]
+        rows.append(TableOneRow(rent_exponent=p, block_sizes=sizes))
+    return rows
+
+
+def format_table_one(
+    rows: Sequence[TableOneRow],
+    thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
+) -> str:
+    """Render Table I as text."""
+    header = "        " + " ".join(
+        f"{f'>={100 * f:.0f}% fixed':>12s}" for f in thresholds
+    )
+    return "\n".join([header] + [r.format_row(thresholds) for r in rows])

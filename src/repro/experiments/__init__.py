@@ -1,0 +1,23 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Submodules (``table1`` .. ``table4``, ``figures``) are deliberately not
+imported here: they double as ``python -m`` entry points, and importing
+them from the package would shadow the ``runpy`` execution.  Import them
+explicitly, e.g. ``from repro.experiments.table2 import run_table2``.
+"""
+
+from repro.experiments.circuits import (
+    CIRCUITS,
+    PAPER_TOLERANCE,
+    CircuitDefinition,
+    load_circuit,
+    load_instance,
+)
+
+__all__ = [
+    "CIRCUITS",
+    "PAPER_TOLERANCE",
+    "CircuitDefinition",
+    "load_circuit",
+    "load_instance",
+]

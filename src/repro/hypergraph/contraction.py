@@ -1,0 +1,128 @@
+"""Vertex clustering / contraction.
+
+Contraction maps each fine vertex to a cluster id and produces the coarse
+hypergraph whose vertices are the clusters.  Nets collapse accordingly:
+pins inside one cluster merge; nets left with a single pin disappear;
+parallel nets (identical coarse pin sets) are merged by summing weights.
+This is the workhorse of the multilevel partitioner and of the
+terminal-clustering equivalence transform from Section V of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.hypergraph.hypergraph import Hypergraph, HypergraphError
+
+
+@dataclass(frozen=True)
+class Contraction:
+    """Result of :func:`contract`.
+
+    ``coarse``            the contracted hypergraph;
+    ``fine_to_coarse``    cluster id of every fine vertex;
+    ``coarse_to_fine``    member fine vertices of every cluster.
+    """
+
+    coarse: Hypergraph
+    fine_to_coarse: List[int]
+    coarse_to_fine: List[List[int]]
+
+    def project_partition(self, coarse_parts: Sequence[int]) -> List[int]:
+        """Lift a coarse partition vector back to fine vertices."""
+        return [coarse_parts[c] for c in self.fine_to_coarse]
+
+
+def contract(
+    graph: Hypergraph,
+    clusters: Sequence[int],
+    merge_parallel_nets: bool = True,
+) -> Contraction:
+    """Contract ``graph`` according to the cluster vector ``clusters``.
+
+    ``clusters[v]`` is the cluster id of fine vertex ``v``; ids must form
+    a contiguous range ``0..k-1``.  Cluster areas are the sums of member
+    areas.  Nets reduced to fewer than two distinct clusters are dropped
+    (they can never be cut).  With ``merge_parallel_nets`` (the default,
+    and what heavy-edge coarsening relies on), nets with identical coarse
+    pin sets merge into one net whose weight is the sum.
+    """
+    n = graph.num_vertices
+    if len(clusters) != n:
+        raise HypergraphError(
+            f"cluster vector has length {len(clusters)}, expected {n}"
+        )
+    if n == 0:
+        return Contraction(Hypergraph([], 0), [], [])
+    k = max(clusters) + 1
+    seen = [False] * k
+    for c in clusters:
+        if not 0 <= c < k:
+            raise HypergraphError(f"cluster id {c} out of range")
+        seen[c] = True
+    if not all(seen):
+        missing = seen.index(False)
+        raise HypergraphError(
+            f"cluster ids must be contiguous; id {missing} is unused"
+        )
+
+    coarse_to_fine: List[List[int]] = [[] for _ in range(k)]
+    for v, c in enumerate(clusters):
+        coarse_to_fine[c].append(v)
+    areas = [0.0] * k
+    for v, c in enumerate(clusters):
+        areas[c] += graph.area(v)
+
+    coarse_nets: List[Tuple[int, ...]] = []
+    coarse_weights: List[int] = []
+    index_of: Dict[Tuple[int, ...], int] = {}
+    for e in range(graph.num_nets):
+        coarse_pins = sorted({clusters[v] for v in graph.net_pins(e)})
+        if len(coarse_pins) < 2:
+            continue
+        key = tuple(coarse_pins)
+        w = graph.net_weight(e)
+        if merge_parallel_nets:
+            slot = index_of.get(key)
+            if slot is not None:
+                coarse_weights[slot] += w
+                continue
+            index_of[key] = len(coarse_nets)
+        coarse_nets.append(key)
+        coarse_weights.append(w)
+
+    coarse = Hypergraph(
+        coarse_nets,
+        num_vertices=k,
+        areas=areas,
+        net_weights=coarse_weights,
+    )
+    return Contraction(
+        coarse=coarse,
+        fine_to_coarse=list(clusters),
+        coarse_to_fine=coarse_to_fine,
+    )
+
+
+def normalize_clusters(raw: Sequence[Optional[int]]) -> List[int]:
+    """Compact an arbitrary labelling into contiguous cluster ids.
+
+    ``None`` entries become singleton clusters.  Useful for matching-based
+    coarseners that label only matched vertices.
+    """
+    remap: Dict[int, int] = {}
+    out: List[int] = []
+    next_id = 0
+    for label in raw:
+        if label is None:
+            out.append(next_id)
+            next_id += 1
+            continue
+        if label not in remap:
+            remap[label] = next_id
+            next_id += 1
+        out.append(remap[label])
+    # Labels shared between entries must still be shared after remapping,
+    # which the dict guarantees; contiguity holds by construction.
+    return out

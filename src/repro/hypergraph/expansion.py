@@ -1,0 +1,79 @@
+"""Graph expansions of hypergraphs.
+
+Hyperedges are sometimes approximated by graph edges: the clique model
+spreads a net's weight over all pin pairs, the star model introduces an
+auxiliary hub vertex per net.  The multilevel coarsener's heavy-edge
+connectivity score is exactly the clique-model edge weight, and the
+expansions let us sanity-check cut values against networkx algorithms in
+tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import networkx as nx
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def clique_expansion(graph: Hypergraph) -> nx.Graph:
+    """Weighted clique expansion.
+
+    Each net of size ``s`` and weight ``w`` contributes ``w / (s - 1)`` to
+    every pin pair, the standard normalisation making the (graph) cut of a
+    bipartition that splits the net at least ``w``.  Single-pin and empty
+    nets contribute nothing.
+    """
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.num_vertices))
+    for e in range(graph.num_nets):
+        pins = graph.net_pins(e)
+        s = len(pins)
+        if s < 2:
+            continue
+        share = graph.net_weight(e) / (s - 1)
+        for i in range(s):
+            for j in range(i + 1, s):
+                u, v = pins[i], pins[j]
+                if g.has_edge(u, v):
+                    g[u][v]["weight"] += share
+                else:
+                    g.add_edge(u, v, weight=share)
+    return g
+
+
+def star_expansion(graph: Hypergraph) -> Tuple[nx.Graph, Dict[int, int]]:
+    """Star expansion: one hub node per net, spokes to every pin.
+
+    Returns the graph and a map from net id to its hub node id.  Hub ids
+    start at ``graph.num_vertices``.
+    """
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.num_vertices))
+    hubs: Dict[int, int] = {}
+    next_id = graph.num_vertices
+    for e in range(graph.num_nets):
+        pins = graph.net_pins(e)
+        if len(pins) < 2:
+            continue
+        hub = next_id
+        next_id += 1
+        hubs[e] = hub
+        g.add_node(hub)
+        w = graph.net_weight(e)
+        for v in pins:
+            g.add_edge(hub, v, weight=w)
+    return g, hubs
+
+
+def connectivity_components(graph: Hypergraph) -> int:
+    """Number of connected components (via the clique expansion's
+    structure; weights are irrelevant for connectivity)."""
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.num_vertices))
+    for e in range(graph.num_nets):
+        pins = graph.net_pins(e)
+        for i in range(1, len(pins)):
+            g.add_edge(pins[0], pins[i])
+    return nx.number_connected_components(g)

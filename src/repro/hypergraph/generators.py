@@ -1,0 +1,360 @@
+"""Synthetic hypergraph generators.
+
+The ISPD-98 IBM netlists used by the paper are not redistributable, so the
+experiments in this repository run on synthetic circuits generated to
+match the statistics the paper's phenomena depend on:
+
+* average pins per cell ``k`` around 3.5 (Rent's rule constant);
+* a net-size distribution dominated by 2- and 3-pin nets with a short
+  geometric tail (as in real standard-cell netlists);
+* locality -- nets connect cells that are close in a linear layout order,
+  with a Pareto-distributed span.  Tighter locality yields a lower Rent
+  exponent; the default is tuned to land near the paper's ``p ~ 0.68``;
+* skewed cell areas including a few very large cells ("there are often
+  individual cells that occupy several percent of the total area");
+* a small population of zero-area pad vertices on the periphery.
+
+Smaller utility generators (random k-uniform, grids, clustered cliques,
+chains) support unit tests for coarsening and FM.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+@dataclass(frozen=True)
+class CircuitSpec:
+    """Parameters of a synthetic circuit.
+
+    ``locality`` is the Pareto shape of net spans: larger values produce
+    more local nets, hence a lower Rent exponent.  ``dimensions``
+    selects the layout model the spans live in: 2 (default) samples net
+    windows on a ``sqrt(n) x sqrt(n)`` cell grid, giving the
+    boundary-scaling min-cuts of real standard-cell netlists; 1 uses
+    windows over the linear cell order (a chain-of-clusters structure
+    with very small cuts, useful for isolating locality effects).
+    ``num_pads=None`` applies the heuristic
+    ``round(2.2 * sqrt(num_cells))`` that matches the pad counts of the
+    ISPD-98 circuits (e.g. IBM01 has 12752 cells and 246 pads).
+    """
+
+    num_cells: int
+    pins_per_cell: float = 3.5
+    net_size_cap: int = 12
+    locality: float = 1.6
+    dimensions: int = 2
+    num_pads: Optional[int] = None
+    num_large_cells: int = 4
+    large_cell_area_percent: float = 2.0
+    min_cell_area: int = 1
+    max_cell_area: int = 8
+    name: str = "synthetic"
+
+    def __post_init__(self) -> None:
+        if self.dimensions not in (1, 2):
+            raise ValueError("dimensions must be 1 or 2")
+
+    def resolved_num_pads(self) -> int:
+        """Pad count after applying the default heuristic."""
+        if self.num_pads is not None:
+            return self.num_pads
+        return max(8, round(2.2 * self.num_cells**0.5))
+
+
+@dataclass(frozen=True)
+class SyntheticCircuit:
+    """A generated circuit: hypergraph plus pad bookkeeping.
+
+    Vertices ``0..num_cells-1`` are cells (positive area); the remaining
+    vertices are zero-area pads.  ``order`` is the layout order used
+    during generation, exposed so the placement substrate can seed its
+    geometry consistently.
+    """
+
+    graph: Hypergraph
+    spec: CircuitSpec
+    pad_vertices: List[int] = field(default_factory=list)
+
+    @property
+    def num_cells(self) -> int:
+        """Number of movable, positive-area cells."""
+        return self.spec.num_cells
+
+    @property
+    def cell_vertices(self) -> range:
+        """Ids of the cell vertices."""
+        return range(self.spec.num_cells)
+
+    def is_pad(self, vertex: int) -> bool:
+        """Whether ``vertex`` is a pad."""
+        return vertex >= self.spec.num_cells
+
+
+def _sample_net_size(rng: random.Random, cap: int) -> int:
+    """Net size: 2 w.p. 0.55, 3 w.p. 0.22, then a geometric tail."""
+    u = rng.random()
+    if u < 0.55:
+        return 2
+    if u < 0.77:
+        return 3
+    size = 4
+    while size < cap and rng.random() < 0.45:
+        size += 1
+    return size
+
+
+def _sample_span(
+    rng: random.Random, locality: float, n: int, minimum_span: float = 4.0
+) -> int:
+    """Pareto-distributed net span in layout units."""
+    u = rng.random()
+    span = minimum_span * (1.0 - u) ** (-1.0 / locality)
+    return min(n, max(int(minimum_span), int(span)))
+
+
+def _sample_net_pins_1d(
+    rng: random.Random, n: int, size: int, locality: float
+) -> Optional[list]:
+    """Pins within a window of the linear cell order."""
+    span = _sample_span(rng, locality, n)
+    center = rng.randrange(n)
+    lo = max(0, center - span)
+    hi = min(n, center + span + 1)
+    if hi - lo < size:
+        lo = max(0, hi - size)
+    if hi - lo < size:
+        return None
+    return rng.sample(range(lo, hi), size)
+
+
+def _sample_net_pins_2d(
+    rng: random.Random, n: int, width: int, size: int, locality: float
+) -> Optional[list]:
+    """Pins within a square window of the cell grid.
+
+    Cells sit at row-major positions on a ``width``-wide grid (the last
+    row may be partial); the window is clipped to the grid and pins are
+    drawn without replacement from the valid cells inside it.
+    """
+    span = _sample_span(rng, locality, width, minimum_span=2.0)
+    center = rng.randrange(n)
+    cx, cy = center % width, center // width
+    rows = (n + width - 1) // width
+    x0, x1 = max(0, cx - span), min(width - 1, cx + span)
+    y0, y1 = max(0, cy - span), min(rows - 1, cy + span)
+    pins = set()
+    attempts = 0
+    max_attempts = 8 * size + 16
+    while len(pins) < size and attempts < max_attempts:
+        attempts += 1
+        x = rng.randint(x0, x1)
+        y = rng.randint(y0, y1)
+        idx = y * width + x
+        if idx < n:
+            pins.add(idx)
+    if len(pins) < size:
+        return None
+    return list(pins)
+
+
+def _perimeter_anchor(i: int, num_pads: int, width: int, n: int) -> int:
+    """Cell index nearest the i-th of ``num_pads`` evenly spaced
+    positions around the cell grid's perimeter."""
+    rows = (n + width - 1) // width
+    perimeter = 2 * (width + rows)
+    d = (i + 0.5) * perimeter / num_pads
+    if d < width:
+        x, y = int(d), 0
+    elif d < width + rows:
+        x, y = width - 1, int(d - width)
+    elif d < 2 * width + rows:
+        x, y = width - 1 - int(d - width - rows), rows - 1
+    else:
+        x, y = 0, rows - 1 - int(d - 2 * width - rows)
+    x = min(max(x, 0), width - 1)
+    y = min(max(y, 0), rows - 1)
+    return min(n - 1, y * width + x)
+
+
+def _cells_near(
+    rng: random.Random, anchor: int, n: int, width: int, count: int
+) -> List[int]:
+    """Up to ``count`` distinct cells in a small window around
+    ``anchor`` on the cell grid."""
+    rows = (n + width - 1) // width
+    cx, cy = anchor % width, anchor // width
+    radius = 4
+    x0, x1 = max(0, cx - radius), min(width - 1, cx + radius)
+    y0, y1 = max(0, cy - radius), min(rows - 1, cy + radius)
+    pins = set()
+    for _ in range(16 * count):
+        x = rng.randint(x0, x1)
+        y = rng.randint(y0, y1)
+        idx = y * width + x
+        if idx < n:
+            pins.add(idx)
+            if len(pins) == count:
+                break
+    if not pins:
+        pins.add(anchor)
+    return list(pins)
+
+
+def generate_circuit(
+    spec: CircuitSpec, seed: int = 0
+) -> SyntheticCircuit:
+    """Generate a synthetic circuit according to ``spec``.
+
+    Deterministic for a given ``(spec, seed)`` pair.
+    """
+    if spec.num_cells < 2:
+        raise ValueError("need at least two cells")
+    if spec.pins_per_cell <= 2.0:
+        raise ValueError("pins_per_cell must exceed 2.0 to form nets")
+    rng = random.Random(seed)
+    n = spec.num_cells
+    num_pads = spec.resolved_num_pads()
+
+    # --- cell areas -------------------------------------------------
+    areas = [
+        float(rng.randint(spec.min_cell_area, spec.max_cell_area))
+        for _ in range(n)
+    ]
+    if spec.num_large_cells > 0 and spec.large_cell_area_percent > 0:
+        frac = spec.large_cell_area_percent / 100.0
+        if spec.num_large_cells * frac >= 0.5:
+            raise ValueError("large cells would dominate total area")
+        large = rng.sample(range(n), min(spec.num_large_cells, n))
+        total_small = sum(
+            a for v, a in enumerate(areas) if v not in set(large)
+        )
+        total_final = total_small / (1.0 - len(large) * frac)
+        for v in large:
+            areas[v] = frac * total_final
+    areas.extend([0.0] * num_pads)  # pads are zero-area
+
+    # --- internal nets ----------------------------------------------
+    width = max(2, math.isqrt(n))
+    pin_budget = int(spec.pins_per_cell * n)
+    nets: List[List[int]] = []
+    pins_used = 0
+    while pins_used < pin_budget:
+        size = _sample_net_size(rng, spec.net_size_cap)
+        if spec.dimensions == 2:
+            pins = _sample_net_pins_2d(rng, n, width, size, spec.locality)
+        else:
+            pins = _sample_net_pins_1d(rng, n, size, spec.locality)
+        if pins is None:
+            continue
+        nets.append(pins)
+        pins_used += size
+
+    # --- pad nets ----------------------------------------------------
+    pad_vertices = list(range(n, n + num_pads))
+    for i, pad in enumerate(pad_vertices):
+        # Anchor pads evenly along the periphery (2-D) or through the
+        # layout order (1-D) so the pad ring touches the whole die.
+        if spec.dimensions == 2:
+            anchor = _perimeter_anchor(i, num_pads, width, n)
+        else:
+            anchor = int((i + 0.5) * n / num_pads)
+        fanout = rng.randint(1, 3)
+        if spec.dimensions == 2:
+            cells = _cells_near(rng, anchor, n, width, fanout)
+        else:
+            lo = max(0, anchor - 16)
+            hi = min(n, anchor + 17)
+            cells = rng.sample(range(lo, hi), min(fanout, hi - lo))
+        nets.append([pad] + cells)
+
+    graph = Hypergraph(
+        nets,
+        num_vertices=n + num_pads,
+        areas=areas,
+        vertex_names=(
+            [f"c{i}" for i in range(n)]
+            + [f"p{i}" for i in range(num_pads)]
+        ),
+    )
+    return SyntheticCircuit(graph=graph, spec=spec, pad_vertices=pad_vertices)
+
+
+# ----------------------------------------------------------------------
+# Small structured generators for tests and ablations
+# ----------------------------------------------------------------------
+def random_k_uniform(
+    num_vertices: int,
+    num_nets: int,
+    k: int,
+    seed: int = 0,
+    areas: Optional[Sequence[float]] = None,
+) -> Hypergraph:
+    """Random k-uniform hypergraph: each net picks ``k`` distinct pins."""
+    if k > num_vertices:
+        raise ValueError("net size exceeds vertex count")
+    rng = random.Random(seed)
+    nets = [
+        rng.sample(range(num_vertices), k) for _ in range(num_nets)
+    ]
+    return Hypergraph(nets, num_vertices=num_vertices, areas=areas)
+
+
+def grid_hypergraph(rows: int, cols: int) -> Hypergraph:
+    """2D mesh: unit-area vertices, 2-pin nets between grid neighbours.
+
+    The minimum bisection of an even ``rows x cols`` grid cut along the
+    short dimension is ``min(rows, cols)``, a handy exact reference for
+    partitioner tests.
+    """
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    nets = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                nets.append([vid(r, c), vid(r, c + 1)])
+            if r + 1 < rows:
+                nets.append([vid(r, c), vid(r + 1, c)])
+    return Hypergraph(nets, num_vertices=rows * cols)
+
+
+def chain_hypergraph(num_vertices: int) -> Hypergraph:
+    """Path graph as 2-pin nets; min bisection cut is exactly 1."""
+    nets = [[i, i + 1] for i in range(num_vertices - 1)]
+    return Hypergraph(nets, num_vertices=num_vertices)
+
+
+def clustered_hypergraph(
+    num_clusters: int,
+    cluster_size: int,
+    intra_nets: int,
+    inter_nets: int,
+    seed: int = 0,
+) -> Hypergraph:
+    """Cliquish clusters joined by sparse random 2-pin bridges.
+
+    Coarsening tests rely on heavy-edge matching recovering the planted
+    clusters; partitioning tests rely on the planted sparse cuts.
+    """
+    rng = random.Random(seed)
+    n = num_clusters * cluster_size
+    nets: List[List[int]] = []
+    for c in range(num_clusters):
+        base = c * cluster_size
+        members = list(range(base, base + cluster_size))
+        for _ in range(intra_nets):
+            size = rng.randint(2, min(4, cluster_size))
+            nets.append(rng.sample(members, size))
+    for _ in range(inter_nets):
+        a, b = rng.sample(range(num_clusters), 2)
+        u = a * cluster_size + rng.randrange(cluster_size)
+        v = b * cluster_size + rng.randrange(cluster_size)
+        nets.append([u, v])
+    return Hypergraph(nets, num_vertices=n)

@@ -1,0 +1,124 @@
+"""Descriptive statistics over hypergraphs.
+
+These are the numbers benchmark tables report about instances (Table IV of
+the paper reports cells, pads, nets, external nets and the largest-cell
+area share) plus the distributional statistics the synthetic generator is
+calibrated against (net-size histogram, vertex-degree histogram, pins per
+cell).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+@dataclass(frozen=True)
+class HypergraphStats:
+    """Summary statistics of one hypergraph instance."""
+
+    num_vertices: int
+    num_nets: int
+    num_pins: int
+    total_area: float
+    max_area: float
+    max_area_percent: float
+    average_net_size: float
+    average_degree: float
+    net_size_histogram: Dict[int, int]
+    degree_histogram: Dict[int, int]
+
+    def format_row(self) -> str:
+        """One-line summary, Table-IV style."""
+        return (
+            f"|V|={self.num_vertices} |E|={self.num_nets} "
+            f"pins={self.num_pins} max%={self.max_area_percent:.2f} "
+            f"avg_net={self.average_net_size:.2f} "
+            f"avg_deg={self.average_degree:.2f}"
+        )
+
+
+def compute_stats(graph: Hypergraph) -> HypergraphStats:
+    """Compute :class:`HypergraphStats` for ``graph``."""
+    net_hist = Counter(graph.net_size(e) for e in range(graph.num_nets))
+    deg_hist = Counter(
+        graph.vertex_degree(v) for v in range(graph.num_vertices)
+    )
+    max_area = max(graph.areas, default=0.0)
+    total = graph.total_area
+    return HypergraphStats(
+        num_vertices=graph.num_vertices,
+        num_nets=graph.num_nets,
+        num_pins=graph.num_pins,
+        total_area=total,
+        max_area=max_area,
+        max_area_percent=100.0 * max_area / total if total > 0 else 0.0,
+        average_net_size=graph.average_net_size(),
+        average_degree=graph.average_degree(),
+        net_size_histogram=dict(net_hist),
+        degree_histogram=dict(deg_hist),
+    )
+
+
+def external_nets(graph: Hypergraph, pad_vertices: Sequence[int]) -> int:
+    """Number of nets incident to at least one vertex in ``pad_vertices``.
+
+    In the paper's Table IV an "external net" is a net touching a pad; the
+    count approximates the number of propagated terminals of the block.
+    """
+    pads = set(pad_vertices)
+    count = 0
+    for e in range(graph.num_nets):
+        if any(v in pads for v in graph.net_pins(e)):
+            count += 1
+    return count
+
+
+def pins_per_cell(graph: Hypergraph) -> float:
+    """Average pins per vertex -- the ``k`` of Rent's rule (paper: ~3.5)."""
+    return graph.average_degree()
+
+
+def rent_exponent_estimate(
+    graph: Hypergraph,
+    samples: Sequence[Sequence[int]],
+) -> float:
+    """Estimate the Rent exponent from (block, terminal-count) samples.
+
+    ``samples`` is a list of vertex subsets ("blocks").  For each block we
+    count external nets (nets with pins both inside and outside) as the
+    terminal count ``T`` and fit ``log T = log k + p log C`` by least
+    squares.  Degenerate inputs (fewer than two distinct block sizes)
+    raise ``ValueError``.
+    """
+    import math
+
+    points = []
+    for block in samples:
+        inside = set(block)
+        if not inside:
+            continue
+        terminals = 0
+        for e in range(graph.num_nets):
+            pins = graph.net_pins(e)
+            has_in = any(v in inside for v in pins)
+            has_out = any(v not in inside for v in pins)
+            if has_in and has_out:
+                terminals += 1
+        if terminals > 0:
+            points.append((math.log(len(inside)), math.log(terminals)))
+    sizes = {x for x, _ in points}
+    if len(sizes) < 2:
+        raise ValueError(
+            "need samples of at least two distinct block sizes with "
+            "nonzero terminal counts"
+        )
+    n = len(points)
+    sx = sum(x for x, _ in points)
+    sy = sum(y for _, y in points)
+    sxx = sum(x * x for x, _ in points)
+    sxy = sum(x * y for x, y in points)
+    return (n * sxy - sx * sy) / (n * sxx - sx * sx)

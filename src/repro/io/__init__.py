@@ -1,0 +1,29 @@
+"""Netlist and benchmark-instance I/O."""
+
+from repro.io.bookshelf import (
+    BookshelfFormatError,
+    read_bookshelf,
+    write_bookshelf,
+)
+from repro.io.hgr import (
+    HgrFormatError,
+    read_fix_file,
+    read_hgr,
+    write_fix_file,
+    write_hgr,
+)
+from repro.io.netd import NetDFormatError, read_netd, write_netd
+
+__all__ = [
+    "BookshelfFormatError",
+    "HgrFormatError",
+    "NetDFormatError",
+    "read_bookshelf",
+    "read_fix_file",
+    "read_hgr",
+    "read_netd",
+    "write_bookshelf",
+    "write_fix_file",
+    "write_hgr",
+    "write_netd",
+]

@@ -1,0 +1,186 @@
+"""hMetis ``.hgr`` hypergraph format.
+
+The de-facto interchange format of the multilevel-partitioning
+literature (hMetis, KaHyPar, PaToH all read it).  Supported dialects,
+selected by the header's ``fmt`` code:
+
+* ``(none)`` -- unweighted: ``<nets> <vertices>`` then one line of
+  1-based pin indices per net;
+* ``1``  -- net weights: each net line starts with its weight;
+* ``10`` -- vertex weights: vertex-weight lines follow the net lines;
+* ``11`` -- both.
+
+hMetis has a companion ``.fix`` file (one line per vertex: the target
+partition or ``-1``), which is exactly the paper's hard-fixture vector;
+:func:`read_fix_file` / :func:`write_fix_file` handle it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.partition.solution import FREE
+
+PathLike = Union[str, Path]
+
+
+class HgrFormatError(ValueError):
+    """Raised on malformed ``.hgr`` content."""
+
+
+def write_hgr(graph: Hypergraph, path: PathLike) -> None:
+    """Write ``graph`` in ``.hgr`` format.
+
+    The dialect is chosen from the content: net weights are emitted iff
+    any differ from 1, vertex weights iff any area differs from 1.
+    Zero-pin nets cannot be represented and are rejected; areas are
+    written as integers (rounded) because hMetis requires integral
+    weights -- callers with fractional areas should pre-scale.
+    """
+    for e in range(graph.num_nets):
+        if graph.net_size(e) == 0:
+            raise HgrFormatError(f"net {e} has no pins")
+    has_net_weights = any(
+        graph.net_weight(e) != 1 for e in range(graph.num_nets)
+    )
+    has_vertex_weights = any(
+        graph.area(v) != 1.0 for v in range(graph.num_vertices)
+    )
+    fmt = (10 if has_vertex_weights else 0) + (1 if has_net_weights else 0)
+
+    lines = []
+    header = f"{graph.num_nets} {graph.num_vertices}"
+    if fmt:
+        header += f" {fmt}"
+    lines.append(header)
+    for e in range(graph.num_nets):
+        pins = " ".join(str(v + 1) for v in graph.net_pins(e))
+        if has_net_weights:
+            lines.append(f"{graph.net_weight(e)} {pins}")
+        else:
+            lines.append(pins)
+    if has_vertex_weights:
+        for v in range(graph.num_vertices):
+            lines.append(str(round(graph.area(v))))
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_hgr(path: PathLike) -> Hypergraph:
+    """Parse a ``.hgr`` file into a :class:`Hypergraph`."""
+    raw_lines = [
+        line.split("%", 1)[0].strip()
+        for line in Path(path).read_text().splitlines()
+    ]
+    lines = [line for line in raw_lines if line]
+    if not lines:
+        raise HgrFormatError("empty .hgr file")
+    header = lines[0].split()
+    if len(header) < 2:
+        raise HgrFormatError(f"bad header: {lines[0]!r}")
+    try:
+        num_nets = int(header[0])
+        num_vertices = int(header[1])
+        fmt = int(header[2]) if len(header) > 2 else 0
+    except ValueError as exc:
+        raise HgrFormatError(f"bad header: {lines[0]!r}") from exc
+    if fmt not in (0, 1, 10, 11):
+        raise HgrFormatError(f"unsupported fmt code {fmt}")
+    has_net_weights = fmt in (1, 11)
+    has_vertex_weights = fmt in (10, 11)
+
+    expected = 1 + num_nets + (num_vertices if has_vertex_weights else 0)
+    if len(lines) != expected:
+        raise HgrFormatError(
+            f"expected {expected} non-empty lines, found {len(lines)}"
+        )
+
+    nets: List[List[int]] = []
+    weights: List[int] = []
+    for i in range(num_nets):
+        tokens = lines[1 + i].split()
+        try:
+            values = [int(t) for t in tokens]
+        except ValueError as exc:
+            raise HgrFormatError(f"bad net line: {lines[1 + i]!r}") from exc
+        if has_net_weights:
+            if len(values) < 2:
+                raise HgrFormatError(
+                    f"net line {i} lacks pins: {lines[1 + i]!r}"
+                )
+            weights.append(values[0])
+            pins = values[1:]
+        else:
+            if not values:
+                raise HgrFormatError(f"net line {i} is empty")
+            weights.append(1)
+            pins = values
+        for p in pins:
+            if not 1 <= p <= num_vertices:
+                raise HgrFormatError(
+                    f"net {i} references vertex {p} outside "
+                    f"[1, {num_vertices}]"
+                )
+        nets.append([p - 1 for p in pins])
+
+    areas: Optional[List[float]] = None
+    if has_vertex_weights:
+        areas = []
+        for v in range(num_vertices):
+            line = lines[1 + num_nets + v]
+            try:
+                areas.append(float(int(line.split()[0])))
+            except (ValueError, IndexError) as exc:
+                raise HgrFormatError(
+                    f"bad vertex-weight line: {line!r}"
+                ) from exc
+
+    return Hypergraph(
+        nets,
+        num_vertices=num_vertices,
+        areas=areas,
+        net_weights=weights,
+    )
+
+
+def write_fix_file(fixture: Sequence[int], path: PathLike) -> None:
+    """Write an hMetis fix file: one target block (or -1) per line."""
+    Path(path).write_text(
+        "\n".join(str(f) for f in fixture) + "\n"
+    )
+
+
+def read_fix_file(
+    path: PathLike, num_vertices: Optional[int] = None
+) -> List[int]:
+    """Read an hMetis fix file into a fixture vector."""
+    values = []
+    for lineno, line in enumerate(
+        Path(path).read_text().splitlines(), start=1
+    ):
+        stripped = line.split("%", 1)[0].strip()
+        if not stripped:
+            continue
+        try:
+            values.append(int(stripped))
+        except ValueError as exc:
+            raise HgrFormatError(
+                f"{path}:{lineno}: bad fix value {stripped!r}"
+            ) from exc
+    if num_vertices is not None and len(values) != num_vertices:
+        raise HgrFormatError(
+            f"fix file has {len(values)} lines, expected {num_vertices}"
+        )
+    for i, f in enumerate(values):
+        if f < FREE:
+            raise HgrFormatError(
+                f"fix entry {i} is {f}; must be >= -1"
+            )
+    return values
+
+
+def roundtrip_check(graph: Hypergraph, path: PathLike) -> bool:
+    """Write + re-read + structural comparison (testing helper)."""
+    write_hgr(graph, path)
+    return read_hgr(path).structurally_equal(graph)

@@ -1,0 +1,212 @@
+"""Classic ACM/SIGDA ``.net`` / ``.are`` netlist format.
+
+The pre-ISPD-98 partitioning benchmarks circulated as a ``.net`` file
+(connectivity) plus an ``.are`` file (module areas).  The paper points
+out that these files carry *no* fixed-vertex information -- which is
+exactly the gap its proposed formats close -- but the classic format is
+still the interchange baseline, so both directions are supported here.
+
+Format summary (as used by the MCNC/ISPD-98 distributions):
+
+``.net``::
+
+    0
+    <num_pins>
+    <num_nets>
+    <num_modules>
+    <pad_offset>
+    <module> s [dir]     # first pin of a net
+    <module> l [dir]     # subsequent pins
+    ...
+
+Modules named ``a<i>`` are cells, ``p<i>`` are pads; ``pad_offset`` is
+the number of cell modules (pads occupy the tail of the module index
+space).  ``.are`` lines are ``<module> <area>``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.hypergraph.builder import HypergraphBuilder
+from repro.hypergraph.hypergraph import Hypergraph
+
+PathLike = Union[str, Path]
+
+
+class NetDFormatError(ValueError):
+    """Raised on malformed ``.net`` / ``.are`` content."""
+
+
+def write_netd(
+    graph: Hypergraph,
+    net_path: PathLike,
+    are_path: Optional[PathLike] = None,
+    pad_vertices: Sequence[int] = (),
+) -> None:
+    """Write ``graph`` as a ``.net`` file (and optionally ``.are``).
+
+    Vertices in ``pad_vertices`` are emitted with ``p`` names, everything
+    else with ``a`` names.  Vertex names from the graph are *not* reused:
+    the classic format's tooling assumes the ``a<i>``/``p<i>`` scheme.
+    """
+    pads = set(pad_vertices)
+    names: Dict[int, str] = {}
+    cell_count = 0
+    pad_count = 0
+    for v in range(graph.num_vertices):
+        if v in pads:
+            pad_count += 1
+            names[v] = f"p{pad_count}"
+        else:
+            names[v] = f"a{cell_count}"
+            cell_count += 1
+
+    lines: List[str] = [
+        "0",
+        str(graph.num_pins),
+        str(graph.num_nets),
+        str(graph.num_vertices),
+        str(cell_count),
+    ]
+    for e in range(graph.num_nets):
+        for i, v in enumerate(graph.net_pins(e)):
+            marker = "s" if i == 0 else "l"
+            lines.append(f"{names[v]} {marker}")
+    Path(net_path).write_text("\n".join(lines) + "\n")
+
+    if are_path is not None:
+        are_lines = [
+            f"{names[v]} {_format_area(graph.area(v))}"
+            for v in range(graph.num_vertices)
+        ]
+        Path(are_path).write_text("\n".join(are_lines) + "\n")
+
+
+def _format_area(area: float) -> str:
+    return str(int(area)) if float(area).is_integer() else repr(area)
+
+
+def read_netd(
+    net_path: PathLike,
+    are_path: Optional[PathLike] = None,
+) -> Tuple[Hypergraph, List[int]]:
+    """Parse a ``.net`` (+ optional ``.are``) pair.
+
+    Returns the hypergraph and the list of pad vertex ids (modules whose
+    name starts with ``p``).  Pads default to zero area, cells to unit
+    area, unless the ``.are`` file says otherwise.
+    """
+    text = Path(net_path).read_text()
+    tokens_per_line = [
+        line.split() for line in text.splitlines() if line.strip()
+    ]
+    if len(tokens_per_line) < 5:
+        raise NetDFormatError("truncated .net header")
+    header = tokens_per_line[:5]
+    try:
+        magic = int(header[0][0])
+        num_pins = int(header[1][0])
+        num_nets = int(header[2][0])
+        num_modules = int(header[3][0])
+        pad_offset = int(header[4][0])
+    except (ValueError, IndexError) as exc:
+        raise NetDFormatError(f"bad .net header: {exc}") from exc
+    if magic != 0:
+        raise NetDFormatError(f"unsupported .net magic {magic}")
+    if not 0 <= pad_offset <= num_modules:
+        raise NetDFormatError(
+            f"pad offset {pad_offset} outside [0, {num_modules}]"
+        )
+
+    builder = HypergraphBuilder()
+    pad_ids: List[int] = []
+    current: List[str] = []
+    nets_seen = 0
+    pins_seen = 0
+
+    def flush() -> None:
+        nonlocal nets_seen
+        if current:
+            builder.add_net_by_names(current, create_missing=True)
+            nets_seen += 1
+            current.clear()
+
+    for tokens in tokens_per_line[5:]:
+        name = tokens[0]
+        if len(tokens) < 2 or tokens[1] not in ("s", "l"):
+            raise NetDFormatError(
+                f"bad pin line: {' '.join(tokens)!r} "
+                "(expected '<module> s|l [dir]')"
+            )
+        if tokens[1] == "s":
+            flush()
+        elif not current and nets_seen == 0:
+            raise NetDFormatError("first pin line must start a net ('s')")
+        current.append(name)
+        pins_seen += 1
+    flush()
+
+    if nets_seen != num_nets:
+        raise NetDFormatError(
+            f".net declares {num_nets} nets but contains {nets_seen}"
+        )
+    if pins_seen != num_pins:
+        raise NetDFormatError(
+            f".net declares {num_pins} pins but contains {pins_seen}"
+        )
+
+    areas_by_name: Dict[str, float] = {}
+    if are_path is not None:
+        for line in Path(are_path).read_text().splitlines():
+            tokens = line.split()
+            if not tokens:
+                continue
+            if len(tokens) < 2:
+                raise NetDFormatError(f"bad .are line: {line!r}")
+            try:
+                areas_by_name[tokens[0]] = float(tokens[1])
+            except ValueError as exc:
+                raise NetDFormatError(
+                    f"bad area in .are line: {line!r}"
+                ) from exc
+
+    # Modules never referenced by a net still count toward num_modules.
+    # The .are file names them; without one, synthesise placeholders so
+    # vertex ids stay dense.
+    for name in areas_by_name:
+        if not builder.has_vertex(name):
+            builder.add_vertex(name)
+    extra = 0
+    while builder.num_vertices < num_modules:
+        builder.add_vertex(f"__isolated{extra}")
+        extra += 1
+    if builder.num_vertices != num_modules:
+        raise NetDFormatError(
+            f".net declares {num_modules} modules but references "
+            f"{builder.num_vertices}"
+        )
+
+    graph = builder.build()
+    names = [graph.vertex_name(v) for v in range(graph.num_vertices)]
+
+    areas = []
+    for v, name in enumerate(names):
+        is_pad = name.startswith("p") and name[1:].isdigit()
+        if is_pad:
+            pad_ids.append(v)
+        if name in areas_by_name:
+            areas.append(areas_by_name[name])
+        else:
+            areas.append(0.0 if is_pad else 1.0)
+
+    rebuilt = Hypergraph(
+        list(graph.nets()),
+        num_vertices=graph.num_vertices,
+        areas=areas,
+        net_weights=list(graph.net_weights),
+        vertex_names=names,
+        net_names=[graph.net_name(e) for e in range(graph.num_nets)],
+    )
+    return rebuilt, pad_ids

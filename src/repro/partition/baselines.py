@@ -1,0 +1,162 @@
+"""Baseline partitioners.
+
+Weak references against which FM and the multilevel engine are compared
+in tests and ablation benches: pure random construction, randomized
+greedy growth, and a simple simulated-annealing bipartitioner (the
+classic pre-FM metaheuristic baseline).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional, Sequence
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.partition.balance import BalanceConstraint
+from repro.partition.initial import (
+    greedy_bfs_bipartition,
+    random_balanced_bipartition,
+)
+from repro.partition.solution import (
+    FREE,
+    Bipartition,
+    cut_size,
+    validate_fixture,
+)
+
+
+def random_baseline(
+    graph: Hypergraph,
+    balance: BalanceConstraint,
+    fixture: Optional[Sequence[int]] = None,
+    seed: int = 0,
+) -> Bipartition:
+    """Best of one random balanced construction (no improvement)."""
+    rng = random.Random(seed)
+    parts = random_balanced_bipartition(
+        graph, balance, fixture=fixture, rng=rng
+    )
+    return Bipartition(parts=parts, cut=cut_size(graph, parts))
+
+
+def greedy_baseline(
+    graph: Hypergraph,
+    balance: BalanceConstraint,
+    fixture: Optional[Sequence[int]] = None,
+    seed: int = 0,
+) -> Bipartition:
+    """BFS-growth construction (no iterative improvement)."""
+    rng = random.Random(seed)
+    parts = greedy_bfs_bipartition(
+        graph, balance, fixture=fixture, rng=rng
+    )
+    return Bipartition(parts=parts, cut=cut_size(graph, parts))
+
+
+def annealing_baseline(
+    graph: Hypergraph,
+    balance: BalanceConstraint,
+    fixture: Optional[Sequence[int]] = None,
+    seed: int = 0,
+    moves_per_temperature: Optional[int] = None,
+    initial_acceptance: float = 0.5,
+    cooling: float = 0.9,
+    freeze_temperature: float = 0.05,
+) -> Bipartition:
+    """Simulated-annealing bipartitioning over single-vertex flips.
+
+    Infeasible intermediate states are allowed but penalised by the
+    balance violation, so the walk is steered back into the feasible
+    region; the returned solution is the best *feasible* state seen (or
+    the least-infeasible one if none was feasible).
+    """
+    n = graph.num_vertices
+    if fixture is None:
+        fixture = [FREE] * n
+    validate_fixture(fixture, n, 2)
+    rng = random.Random(seed)
+    parts = random_balanced_bipartition(
+        graph, balance, fixture=fixture, rng=rng
+    )
+    movable = [v for v in range(n) if fixture[v] == FREE]
+    if not movable:
+        return Bipartition(parts=parts, cut=cut_size(graph, parts))
+    if moves_per_temperature is None:
+        moves_per_temperature = 8 * len(movable)
+
+    loads = [0.0, 0.0]
+    for v in range(n):
+        loads[parts[v]] += graph.area(v)
+    cut = cut_size(graph, parts)
+
+    def energy(c: int, lds: Sequence[float]) -> float:
+        return c + balance.violation(lds)
+
+    def flip_delta(v: int) -> int:
+        """Cut change when flipping ``v`` (positive = worse)."""
+        s = parts[v]
+        delta = 0
+        for e in graph.vertex_nets(v):
+            pins = graph.net_pins(e)
+            same = sum(1 for u in pins if parts[u] == s)
+            other = len(pins) - same
+            w = graph.net_weight(e)
+            if other == 0:
+                delta += w  # net becomes cut
+            elif same == 1:
+                delta -= w  # net becomes uncut
+        return delta
+
+    # Calibrate the starting temperature to the configured initial
+    # acceptance rate on a sample of uphill moves.
+    uphill = []
+    for _ in range(min(100, len(movable))):
+        d = flip_delta(rng.choice(movable))
+        if d > 0:
+            uphill.append(d)
+    avg_uphill = sum(uphill) / len(uphill) if uphill else 1.0
+    temperature = max(
+        1e-9, -avg_uphill / math.log(initial_acceptance)
+    )
+
+    best_parts = list(parts)
+    best_energy = energy(cut, loads)
+    best_feasible = balance.is_feasible(loads)
+
+    while temperature > freeze_temperature:
+        accepted = 0
+        for _ in range(moves_per_temperature):
+            v = rng.choice(movable)
+            s = parts[v]
+            t = 1 - s
+            d_cut = flip_delta(v)
+            new_loads = list(loads)
+            new_loads[s] -= graph.area(v)
+            new_loads[t] += graph.area(v)
+            d_energy = (cut + d_cut + balance.violation(new_loads)) - (
+                energy(cut, loads)
+            )
+            if d_energy <= 0 or rng.random() < math.exp(
+                -d_energy / temperature
+            ):
+                parts[v] = t
+                loads = new_loads
+                cut += d_cut
+                accepted += 1
+                feasible = balance.is_feasible(loads)
+                e_now = energy(cut, loads)
+                better = (
+                    (feasible and not best_feasible)
+                    or (feasible == best_feasible and e_now < best_energy)
+                )
+                if better:
+                    best_parts = list(parts)
+                    best_energy = e_now
+                    best_feasible = feasible
+        temperature *= cooling
+        if accepted == 0:
+            break
+    return Bipartition(
+        parts=best_parts, cut=cut_size(graph, best_parts)
+    )

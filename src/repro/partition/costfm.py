@@ -1,0 +1,382 @@
+"""FM under generalized per-net costs (placement-specific objectives).
+
+Section IV's benchmark proposal includes "flexible assignment of fixed
+terminals to partitions, which enables study of placement-specific
+partitioning objectives -- for example, based on net bounding boxes and
+Steiner tree estimators" (the Huang--Kahng "exact objective" lineage).
+The plain min-cut objective charges every cut net the same; a placement
+objective charges each net by where its pins would land.
+
+This engine optimises a three-state cost per net of a bipartition:
+
+* ``cost0[e]``  -- all movable pins of ``e`` on side 0;
+* ``cost1[e]``  -- all movable pins on side 1;
+* ``cost_cut[e]`` -- pins on both sides.
+
+Classic min-cut is ``cost0 = cost1 = 0, cost_cut = w``; a terminal-
+propagation objective derives the three values from net bounding boxes
+(see :mod:`repro.placement.objective`).  Costs must be non-negative
+integers (gain buckets are integer-keyed).
+
+Moves are selected FM-style from gain buckets; because a 3-state cost
+breaks the elegant delta rules of pure min-cut, gains of all vertices
+on a moved vertex's nets are recomputed exactly after each move --
+simpler, still O(pins-around-v) per move, and safe for any cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.partition.balance import BalanceConstraint
+from repro.partition.fm import _HARD_PASS_CAP
+from repro.partition.gainbucket import GainBucket
+from repro.partition.solution import FREE, validate_fixture
+
+
+@dataclass(frozen=True)
+class NetCostModel:
+    """Three-state costs for every net of a hypergraph.
+
+    Nets whose movable pins are empty always sit in a fixed state; their
+    cost is a constant offset the engine ignores.
+    """
+
+    cost0: Sequence[int]
+    cost1: Sequence[int]
+    cost_cut: Sequence[int]
+
+    def __post_init__(self) -> None:
+        if not (
+            len(self.cost0) == len(self.cost1) == len(self.cost_cut)
+        ):
+            raise ValueError("cost vectors differ in length")
+        for name, vec in (
+            ("cost0", self.cost0),
+            ("cost1", self.cost1),
+            ("cost_cut", self.cost_cut),
+        ):
+            for e, c in enumerate(vec):
+                if c < 0 or c != int(c):
+                    raise ValueError(
+                        f"{name}[{e}] = {c}; costs must be "
+                        "non-negative integers"
+                    )
+
+    @property
+    def num_nets(self) -> int:
+        """Number of nets covered."""
+        return len(self.cost0)
+
+    def state_cost(self, e: int, cnt0: int, cnt1: int) -> int:
+        """Cost of net ``e`` given per-side pin counts."""
+        if cnt0 > 0 and cnt1 > 0:
+            return self.cost_cut[e]
+        if cnt0 > 0:
+            return self.cost0[e]
+        if cnt1 > 0:
+            return self.cost1[e]
+        return 0  # no pins at all
+
+
+def min_cut_cost_model(graph: Hypergraph) -> NetCostModel:
+    """The classic objective expressed in the generalized form."""
+    zeros = [0] * graph.num_nets
+    return NetCostModel(
+        cost0=list(zeros),
+        cost1=list(zeros),
+        cost_cut=list(graph.net_weights),
+    )
+
+
+def total_cost(
+    graph: Hypergraph, model: NetCostModel, parts: Sequence[int]
+) -> int:
+    """Objective value of an assignment."""
+    total = 0
+    for e in range(graph.num_nets):
+        cnt0 = sum(1 for v in graph.net_pins(e) if parts[v] == 0)
+        cnt1 = graph.net_size(e) - cnt0
+        total += model.state_cost(e, cnt0, cnt1)
+    return total
+
+
+@dataclass(frozen=True)
+class CostFMConfig:
+    """Tuning knobs (same semantics as :class:`FMConfig`)."""
+
+    max_passes: int = -1
+    pass_move_limit_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.pass_move_limit_fraction <= 1.0:
+            raise ValueError("pass_move_limit_fraction must be in (0, 1]")
+        if self.max_passes == 0:
+            raise ValueError("max_passes must be nonzero (or negative)")
+
+
+@dataclass
+class CostFMResult:
+    """Outcome of a generalized-cost FM run."""
+
+    parts: List[int]
+    cost: int
+    initial_cost: int
+    num_passes: int = 0
+    total_moves: int = 0
+    pass_costs: List[int] = field(default_factory=list)
+
+
+class CostFMBipartitioner:
+    """2-way FM optimising a :class:`NetCostModel`."""
+
+    def __init__(
+        self,
+        graph: Hypergraph,
+        balance: BalanceConstraint,
+        model: NetCostModel,
+        fixture: Optional[Sequence[int]] = None,
+        config: Optional[CostFMConfig] = None,
+    ) -> None:
+        if balance.num_parts != 2:
+            raise ValueError("CostFMBipartitioner is strictly 2-way")
+        if model.num_nets != graph.num_nets:
+            raise ValueError(
+                f"cost model covers {model.num_nets} nets, graph has "
+                f"{graph.num_nets}"
+            )
+        self.graph = graph
+        self.balance = balance
+        self.model = model
+        self.config = config or CostFMConfig()
+        n = graph.num_vertices
+        if fixture is None:
+            fixture = [FREE] * n
+        validate_fixture(fixture, n, 2)
+        self.fixture = list(fixture)
+
+        self._vnets: List[List[int]] = [
+            list(graph.vertex_nets(v)) for v in range(n)
+        ]
+        self._epins: List[List[int]] = [
+            list(graph.net_pins(e)) for e in range(graph.num_nets)
+        ]
+        self._areas: List[float] = list(graph.areas)
+        self._movable: List[int] = [
+            v for v in range(n) if self.fixture[v] == FREE
+        ]
+        # Max |gain| of a single move: sum over incident nets of the
+        # largest pairwise cost difference.
+        self._max_gain = 0
+        for v in self._movable:
+            bound = 0
+            for e in self._vnets[v]:
+                costs = (
+                    model.cost0[e],
+                    model.cost1[e],
+                    model.cost_cut[e],
+                )
+                bound += max(costs) - min(costs)
+            self._max_gain = max(self._max_gain, bound)
+        self._escape_slack = min(
+            (
+                self._areas[v]
+                for v in self._movable
+                if self._areas[v] > 0
+            ),
+            default=0.0,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, initial_parts: Sequence[int]) -> CostFMResult:
+        """Improve ``initial_parts`` under the cost model."""
+        graph = self.graph
+        n = graph.num_vertices
+        if len(initial_parts) != n:
+            raise ValueError("initial_parts length mismatch")
+        parts = [
+            f if f != FREE else int(p)
+            for p, f in zip(initial_parts, self.fixture)
+        ]
+        for v, p in enumerate(parts):
+            if p not in (0, 1):
+                raise ValueError(f"vertex {v} assigned to invalid side {p}")
+
+        loads = [0.0, 0.0]
+        for v in range(n):
+            loads[parts[v]] += self._areas[v]
+        cost = total_cost(graph, self.model, parts)
+        result = CostFMResult(
+            parts=parts, cost=cost, initial_cost=cost
+        )
+        if not self._movable:
+            return result
+
+        max_passes = self.config.max_passes
+        if max_passes < 0:
+            max_passes = _HARD_PASS_CAP
+        while result.num_passes < max_passes:
+            key_before = self._progress_key(cost, loads)
+            cost, moves = self._run_pass(
+                parts, loads, cost, result.num_passes
+            )
+            result.num_passes += 1
+            result.total_moves += moves
+            result.pass_costs.append(cost)
+            if not self._progress_key(cost, loads) < key_before:
+                break
+        result.parts = parts
+        result.cost = cost
+        return result
+
+    # ------------------------------------------------------------------
+    def _progress_key(
+        self, cost: int, loads: Sequence[float]
+    ) -> Tuple[int, float]:
+        violation = self.balance.violation(loads)
+        if violation == 0.0:
+            return (0, float(cost))
+        return (1, violation)
+
+    def _quality_key(
+        self, cost: int, loads: Sequence[float]
+    ) -> Tuple[int, float, float]:
+        violation = self.balance.violation(loads)
+        if violation == 0.0:
+            return (0, float(cost), abs(loads[0] - loads[1]))
+        return (1, violation, float(cost))
+
+    def _move_allowed(
+        self, loads: List[float], weight: float, source: int, target: int
+    ) -> bool:
+        if self.balance.allows_move(loads, weight, source, target):
+            return True
+        if loads[source] < loads[target]:
+            return False
+        after = [
+            loads[0] - weight if source == 0 else loads[0] + weight,
+            loads[1] - weight if source == 1 else loads[1] + weight,
+        ]
+        return self.balance.violation(after) <= self._escape_slack
+
+    def _gain_of(
+        self, v: int, parts: List[int], cnt: List[List[int]]
+    ) -> int:
+        """Exact cost reduction of flipping ``v``."""
+        s = parts[v]
+        t = 1 - s
+        gain = 0
+        for e in self._vnets[v]:
+            c0, c1 = cnt[e]
+            before = self.model.state_cost(e, c0, c1)
+            if s == 0:
+                after = self.model.state_cost(e, c0 - 1, c1 + 1)
+            else:
+                after = self.model.state_cost(e, c0 + 1, c1 - 1)
+            gain += before - after
+        return gain
+
+    def _run_pass(
+        self,
+        parts: List[int],
+        loads: List[float],
+        cost: int,
+        pass_index: int,
+    ) -> Tuple[int, int]:
+        graph = self.graph
+        num_nets = graph.num_nets
+        cnt = [[0, 0] for _ in range(num_nets)]
+        for e in range(num_nets):
+            c = cnt[e]
+            for v in self._epins[e]:
+                c[parts[v]] += 1
+
+        buckets = (
+            GainBucket(graph.num_vertices, self._max_gain),
+            GainBucket(graph.num_vertices, self._max_gain),
+        )
+        for v in self._movable:
+            buckets[parts[v]].insert(v, self._gain_of(v, parts, cnt))
+
+        movable_count = len(self._movable)
+        if pass_index == 0 or self.config.pass_move_limit_fraction >= 1.0:
+            move_limit = movable_count
+        else:
+            move_limit = max(
+                1,
+                int(self.config.pass_move_limit_fraction * movable_count),
+            )
+
+        move_log: List[int] = []
+        best_prefix = 0
+        best_cost = cost
+        best_key = self._quality_key(cost, loads)
+
+        while len(move_log) < move_limit:
+            v = self._select_move(buckets, loads)
+            if v is None:
+                break
+            s = parts[v]
+            t = 1 - s
+            gain = buckets[s].key_of(v)
+            buckets[s].remove(v)
+            cost -= gain
+            for e in self._vnets[v]:
+                cnt[e][s] -= 1
+                cnt[e][t] += 1
+            parts[v] = t
+            loads[s] -= self._areas[v]
+            loads[t] += self._areas[v]
+            # Recompute gains of unlocked pins of the affected nets;
+            # exact (no delta rules) because the cost has three states.
+            touched = set()
+            for e in self._vnets[v]:
+                for u in self._epins[e]:
+                    if u != v and u not in touched:
+                        touched.add(u)
+                        bucket = buckets[parts[u]]
+                        if u in bucket:
+                            bucket.update(
+                                u, self._gain_of(u, parts, cnt)
+                            )
+            move_log.append(v)
+            key = self._quality_key(cost, loads)
+            if key < best_key:
+                best_key = key
+                best_cost = cost
+                best_prefix = len(move_log)
+
+        for v in reversed(move_log[best_prefix:]):
+            t = parts[v]
+            s = 1 - t
+            parts[v] = s
+            loads[t] -= self._areas[v]
+            loads[s] += self._areas[v]
+        return best_cost, len(move_log)
+
+    def _select_move(
+        self,
+        buckets: Tuple[GainBucket, GainBucket],
+        loads: List[float],
+    ) -> Optional[int]:
+        areas = self._areas
+        best_v: Optional[int] = None
+        best_side = -1
+        best_key = 0
+        for side in (0, 1):
+            bucket = buckets[side]
+            for v in bucket.iter_descending():
+                key = bucket.key_of(v)
+                if best_v is not None and key < best_key:
+                    break
+                if self._move_allowed(loads, areas[v], side, 1 - side):
+                    if (
+                        best_v is None
+                        or key > best_key
+                        or (key == best_key and loads[side] > loads[best_side])
+                    ):
+                        best_v, best_side, best_key = v, side, key
+                    break
+        return best_v

@@ -1,0 +1,470 @@
+"""Flat Fiduccia--Mattheyses bipartitioning with fixed vertices.
+
+This is the paper's workhorse: pass-based iterative improvement where
+every movable vertex moves at most once per pass, the best prefix of the
+move sequence is restored at pass end, and passes repeat until one fails
+to improve.  Three selection policies are provided:
+
+* ``lifo``  -- classic FM; the most recently inserted vertex of the best
+  gain bucket moves first;
+* ``fifo``  -- the oldest vertex of the best bucket moves first;
+* ``clip``  -- CLIP (Dutt--Deng): buckets are keyed by accumulated gain
+  *updates* since the start of the pass, so cells adjacent to recent
+  moves float to the top, sweeping out clusters.
+
+Fixed vertices (the paper's subject) never enter the buckets but still
+contribute to net pin counts, so they anchor the gains of their
+neighbours exactly as propagated terminals do in top-down placement.
+Section III's pass-cutoff heuristic is the ``pass_move_limit_fraction``
+knob: every pass after the first stops once that fraction of the movable
+vertices has moved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.partition.balance import BalanceConstraint
+from repro.partition.gainbucket import GainBucket
+from repro.partition.solution import (
+    FREE,
+    Bipartition,
+    cut_size,
+    validate_fixture,
+)
+
+POLICIES = ("lifo", "fifo", "clip")
+
+_HARD_PASS_CAP = 200
+"""Safety bound on passes per run when ``max_passes < 0``.
+
+FM converges in well under 20 passes on every instance in the
+literature (the paper's Table II reports ~6); the cap only guards
+against pathological non-termination.
+"""
+
+
+@dataclass(frozen=True)
+class FMConfig:
+    """Tuning knobs of the flat FM engine.
+
+    ``pass_move_limit_fraction`` below 1.0 enables the paper's Section III
+    cutoff: passes after the first stop once ``fraction * movable`` moves
+    have been made.  ``max_passes < 0`` means "until no improvement".
+    """
+
+    policy: str = "lifo"
+    max_passes: int = -1
+    pass_move_limit_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; expected one of {POLICIES}"
+            )
+        if not 0.0 < self.pass_move_limit_fraction <= 1.0:
+            raise ValueError("pass_move_limit_fraction must be in (0, 1]")
+        if self.max_passes == 0:
+            raise ValueError("max_passes must be nonzero (or negative)")
+
+
+@dataclass(frozen=True)
+class PassRecord:
+    """Statistics of one FM pass (the raw material of Table II)."""
+
+    pass_index: int
+    movable: int
+    moves_made: int
+    best_prefix: int
+    cut_before: int
+    cut_after: int
+    feasible_after: bool
+
+    @property
+    def moved_fraction(self) -> float:
+        """Moves made / movable vertices (0 when nothing is movable)."""
+        return self.moves_made / self.movable if self.movable else 0.0
+
+    @property
+    def wasted_moves(self) -> int:
+        """Moves undone by the end-of-pass rollback."""
+        return self.moves_made - self.best_prefix
+
+    @property
+    def best_prefix_fraction(self) -> float:
+        """Position of the restored best solution within the pass."""
+        return self.best_prefix / self.moves_made if self.moves_made else 0.0
+
+
+@dataclass
+class FMResult:
+    """Outcome of an FM run."""
+
+    solution: Bipartition
+    passes: List[PassRecord] = field(default_factory=list)
+    initial_cut: int = 0
+
+    @property
+    def num_passes(self) -> int:
+        """Passes executed (including the final non-improving one)."""
+        return len(self.passes)
+
+    @property
+    def total_moves(self) -> int:
+        """Moves attempted across all passes."""
+        return sum(p.moves_made for p in self.passes)
+
+
+# Lexicographic solution-quality key: a feasible solution always beats an
+# infeasible one; among feasible ones lower cut wins, then tighter
+# balance; among infeasible ones lower violation wins (so FM repairs
+# balance first), then lower cut.
+_QualityKey = Tuple[int, float, float]
+
+
+class FMBipartitioner:
+    """Reusable FM engine bound to one (graph, balance, fixture) triple."""
+
+    def __init__(
+        self,
+        graph: Hypergraph,
+        balance: BalanceConstraint,
+        fixture: Optional[Sequence[int]] = None,
+        config: Optional[FMConfig] = None,
+    ) -> None:
+        if balance.num_parts != 2:
+            raise ValueError("FMBipartitioner is strictly 2-way")
+        self.graph = graph
+        self.balance = balance
+        self.config = config or FMConfig()
+        n = graph.num_vertices
+        if fixture is None:
+            fixture = [FREE] * n
+        validate_fixture(fixture, n, 2)
+        self.fixture = list(fixture)
+
+        # Flatten adjacency into plain lists once; the inner loop must not
+        # pay slice/reconstruction costs on every access.
+        self._vnets: List[List[int]] = [
+            list(graph.vertex_nets(v)) for v in range(n)
+        ]
+        self._epins: List[List[int]] = [
+            list(graph.net_pins(e)) for e in range(graph.num_nets)
+        ]
+        self._eweight: List[int] = list(graph.net_weights)
+        self._areas: List[float] = list(graph.areas)
+        self._movable: List[int] = [
+            v for v in range(n) if self.fixture[v] == FREE
+        ]
+        self._max_gain = max(
+            (
+                sum(self._eweight[e] for e in self._vnets[v])
+                for v in self._movable
+            ),
+            default=0,
+        )
+        # Escape slack for balance windows narrower than one cell: the
+        # smallest positive movable area is the quantum by which loads
+        # can change, so transient violations up to it must be passable
+        # or FM deadlocks on tight tolerances (e.g. 2% of a tiny block).
+        self._escape_slack = min(
+            (
+                self._areas[v]
+                for v in self._movable
+                if self._areas[v] > 0
+            ),
+            default=0.0,
+        )
+
+    @property
+    def num_movable(self) -> int:
+        """Number of free vertices."""
+        return len(self._movable)
+
+    # ------------------------------------------------------------------
+    def run(self, initial_parts: Sequence[int]) -> FMResult:
+        """Improve ``initial_parts`` and return the best solution found.
+
+        Fixed vertices are forced onto their mandated side before the
+        first pass, so any initial assignment for them is tolerated.
+        """
+        graph = self.graph
+        n = graph.num_vertices
+        if len(initial_parts) != n:
+            raise ValueError("initial_parts length mismatch")
+        parts = [
+            f if f != FREE else int(p)
+            for p, f in zip(initial_parts, self.fixture)
+        ]
+        for v, p in enumerate(parts):
+            if p not in (0, 1):
+                raise ValueError(f"vertex {v} assigned to invalid side {p}")
+
+        loads = [0.0, 0.0]
+        for v in range(n):
+            loads[parts[v]] += self._areas[v]
+        cut = cut_size(graph, parts)
+        result = FMResult(
+            solution=Bipartition(parts=parts, cut=cut), initial_cut=cut
+        )
+        if not self._movable:
+            return result
+
+        max_passes = self.config.max_passes
+        if max_passes < 0:
+            max_passes = _HARD_PASS_CAP
+        pass_index = 0
+        while pass_index < max_passes:
+            key_before = self._progress_key(cut, loads)
+            record, cut = self._run_pass(parts, loads, cut, pass_index)
+            result.passes.append(record)
+            pass_index += 1
+            # Another pass is justified only by a cut improvement (or a
+            # violation reduction while infeasible).  Imbalance alone is
+            # a within-pass tie-breaker: chaining passes on epsilon
+            # imbalance gains could run for an astronomically long time
+            # without ever touching the cut.
+            if not self._progress_key(cut, loads) < key_before:
+                break
+        result.solution = Bipartition(parts=parts, cut=cut)
+        return result
+
+    # ------------------------------------------------------------------
+    def _run_pass(
+        self,
+        parts: List[int],
+        loads: List[float],
+        cut: int,
+        pass_index: int,
+    ) -> Tuple[PassRecord, int]:
+        """One FM pass; leaves ``parts``/``loads`` at the best prefix."""
+        graph = self.graph
+        epins = self._epins
+        eweight = self._eweight
+        vnets = self._vnets
+        areas = self._areas
+        clip = self.config.policy == "clip"
+        fifo = self.config.policy == "fifo"
+
+        # Net pin counts per side.
+        num_nets = graph.num_nets
+        cnt = [[0, 0] for _ in range(num_nets)]
+        for e in range(num_nets):
+            c = cnt[e]
+            for v in epins[e]:
+                c[parts[v]] += 1
+
+        # Actual gains of all movable vertices.
+        gain = [0] * graph.num_vertices
+        for v in self._movable:
+            s = parts[v]
+            g = 0
+            for e in vnets[v]:
+                c = cnt[e]
+                w = eweight[e]
+                if c[s] == 1:
+                    g += w
+                if c[1 - s] == 0:
+                    g -= w
+            gain[v] = g
+
+        limit = 2 * self._max_gain if clip else self._max_gain
+        buckets = (
+            GainBucket(graph.num_vertices, limit),
+            GainBucket(graph.num_vertices, limit),
+        )
+        if clip:
+            # CLIP keys start at 0; insert in ascending actual-gain order
+            # so the LIFO head of the zero bucket pops best-gain-first.
+            for v in sorted(self._movable, key=lambda u: gain[u]):
+                buckets[parts[v]].insert(v, 0)
+        else:
+            for v in self._movable:
+                buckets[parts[v]].insert(v, gain[v])
+
+        movable_count = len(self._movable)
+        if pass_index == 0 or self.config.pass_move_limit_fraction >= 1.0:
+            move_limit = movable_count
+        else:
+            move_limit = max(
+                1, int(self.config.pass_move_limit_fraction * movable_count)
+            )
+
+        cut_before = cut
+        move_log: List[int] = []
+        best_prefix = 0
+        best_cut = cut
+        best_key = self._quality_key(cut, loads)
+
+        while len(move_log) < move_limit:
+            v = self._select_move(buckets, loads, fifo)
+            if v is None:
+                break
+            s = parts[v]
+            t = 1 - s
+            buckets[s].remove(v)  # lock v for the rest of the pass
+            cut -= gain[v]
+
+            # Standard FM delta-gain propagation around each net of v.
+            # ``v`` itself is locked (absent from the buckets) so the
+            # bulk update skips it; the single-pin update must skip it
+            # explicitly because parts[v] is stale until after the loop.
+            for e in vnets[v]:
+                c = cnt[e]
+                w = eweight[e]
+                if w:
+                    if c[t] == 0:
+                        self._bump_all_free(e, w, gain, buckets, parts)
+                    elif c[t] == 1:
+                        self._bump_single(e, t, -w, gain, buckets, parts, v)
+                c[s] -= 1
+                c[t] += 1
+                if w:
+                    if c[s] == 0:
+                        self._bump_all_free(e, -w, gain, buckets, parts)
+                    elif c[s] == 1:
+                        self._bump_single(e, s, w, gain, buckets, parts, v)
+
+            parts[v] = t
+            loads[s] -= areas[v]
+            loads[t] += areas[v]
+            move_log.append(v)
+
+            key = self._quality_key(cut, loads)
+            if key < best_key:
+                best_key = key
+                best_cut = cut
+                best_prefix = len(move_log)
+
+        moves_made = len(move_log)
+        for v in reversed(move_log[best_prefix:]):
+            t = parts[v]
+            s = 1 - t
+            parts[v] = s
+            loads[t] -= areas[v]
+            loads[s] += areas[v]
+        cut = best_cut
+
+        record = PassRecord(
+            pass_index=pass_index,
+            movable=movable_count,
+            moves_made=moves_made,
+            best_prefix=best_prefix,
+            cut_before=cut_before,
+            cut_after=cut,
+            feasible_after=self.balance.is_feasible(loads),
+        )
+        return record, cut
+
+    # ------------------------------------------------------------------
+    def _quality_key(self, cut: int, loads: Sequence[float]) -> _QualityKey:
+        violation = self.balance.violation(loads)
+        if violation == 0.0:
+            return (0, float(cut), abs(loads[0] - loads[1]))
+        return (1, violation, float(cut))
+
+    def _progress_key(
+        self, cut: int, loads: Sequence[float]
+    ) -> Tuple[int, float]:
+        """Coarser key deciding whether another pass is worthwhile:
+        imbalance tie-breaking is dropped (see the run loop)."""
+        violation = self.balance.violation(loads)
+        if violation == 0.0:
+            return (0, float(cut))
+        return (1, violation)
+
+    def _select_move(
+        self,
+        buckets: Tuple[GainBucket, GainBucket],
+        loads: List[float],
+        fifo: bool,
+    ) -> Optional[int]:
+        """Best feasible move across both sides.
+
+        Each side's buckets are scanned in descending key order for the
+        first vertex whose move the balance constraint allows; the second
+        side's scan prunes once its keys drop below the first side's
+        candidate.  Gain ties go to the heavier side.
+        """
+        areas = self._areas
+        best_v: Optional[int] = None
+        best_side = -1
+        best_key = 0
+        for side in (0, 1):
+            bucket = buckets[side]
+            for v in bucket.iter_descending(fifo=fifo):
+                key = bucket.key_of(v)
+                if best_v is not None and key < best_key:
+                    break
+                if self._move_allowed(loads, areas[v], side, 1 - side):
+                    if (
+                        best_v is None
+                        or key > best_key
+                        or (key == best_key and loads[side] > loads[best_side])
+                    ):
+                        best_v, best_side, best_key = v, side, key
+                    break
+        return best_v
+
+    def _move_allowed(
+        self, loads: List[float], weight: float, source: int, target: int
+    ) -> bool:
+        """Balance gate for one move.
+
+        Strictly feasible or violation-reducing moves are always allowed
+        (see :meth:`BalanceConstraint.allows_move`).  Additionally, a
+        move off the heavier (or equal) side whose resulting violation
+        stays within the escape slack is allowed: with a balance window
+        narrower than one cell, *every* move transiently violates the
+        window, and without this hatch FM would deadlock at the first
+        tight bisection.  The pass rollback still restores the best
+        *feasible* prefix, so final solutions never rely on the hatch.
+        """
+        if self.balance.allows_move(loads, weight, source, target):
+            return True
+        if loads[source] < loads[target]:
+            return False
+        after = [
+            load - weight if i == source else
+            load + weight if i == target else load
+            for i, load in enumerate(loads)
+        ]
+        return self.balance.violation(after) <= self._escape_slack
+
+    def _bump_all_free(
+        self,
+        e: int,
+        delta: int,
+        gain: List[int],
+        buckets: Tuple[GainBucket, GainBucket],
+        parts: List[int],
+    ) -> None:
+        """Apply ``delta`` to every unlocked free pin of net ``e``."""
+        for u in self._epins[e]:
+            bucket = buckets[parts[u]]
+            if u in bucket:
+                gain[u] += delta
+                bucket.adjust(u, delta)
+
+    def _bump_single(
+        self,
+        e: int,
+        side: int,
+        delta: int,
+        gain: List[int],
+        buckets: Tuple[GainBucket, GainBucket],
+        parts: List[int],
+        moving: int,
+    ) -> None:
+        """Apply ``delta`` to the unique pin of net ``e`` on ``side``
+        (skipping the vertex currently being moved, whose side marker is
+        stale), if that pin is free and unlocked."""
+        for u in self._epins[e]:
+            if u != moving and parts[u] == side:
+                bucket = buckets[side]
+                if u in bucket:
+                    gain[u] += delta
+                    bucket.adjust(u, delta)
+                return

@@ -1,0 +1,180 @@
+"""Array-based gain bucket structure for FM.
+
+The classic Fiduccia--Mattheyses bucket list: one doubly-linked list per
+integer gain value, a moving max-gain pointer, O(1) insert/remove/update.
+Everything is flat integer arrays indexed by vertex id -- no node objects
+-- because the FM inner loop performs millions of these operations.
+
+The same structure serves LIFO FM (pop the most recently inserted vertex
+of the best bucket), FIFO FM (pop the oldest) and CLIP (keys are gain
+*updates* rather than gains, so the key range doubles).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+_NIL = -2
+"""Link terminator distinct from any vertex id and from 'not present'."""
+_ABSENT = -1
+
+
+class GainBucket:
+    """Bucket array over integer keys in ``[-limit, +limit]``.
+
+    Vertices are small non-negative integers below ``num_vertices``.
+    """
+
+    __slots__ = (
+        "_limit",
+        "_head",
+        "_tail",
+        "_prev",
+        "_next",
+        "_key",
+        "_present",
+        "_max_index",
+        "_count",
+    )
+
+    def __init__(self, num_vertices: int, limit: int) -> None:
+        if limit < 0:
+            raise ValueError("gain limit must be non-negative")
+        self._limit = limit
+        size = 2 * limit + 1
+        self._head: List[int] = [_NIL] * size
+        self._tail: List[int] = [_NIL] * size
+        self._prev: List[int] = [_NIL] * num_vertices
+        self._next: List[int] = [_NIL] * num_vertices
+        self._key: List[int] = [0] * num_vertices
+        self._present: List[bool] = [False] * num_vertices
+        self._max_index = -1  # index into bucket arrays; -1 == empty
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, vertex: int) -> bool:
+        return self._present[vertex]
+
+    @property
+    def limit(self) -> int:
+        """Maximum key magnitude this bucket accepts."""
+        return self._limit
+
+    def key_of(self, vertex: int) -> int:
+        """Current key of ``vertex`` (undefined if absent)."""
+        return self._key[vertex]
+
+    def max_key(self) -> Optional[int]:
+        """Largest key present, or ``None`` when empty."""
+        if self._count == 0:
+            return None
+        return self._max_index - self._limit
+
+    # ------------------------------------------------------------------
+    def insert(self, vertex: int, key: int) -> None:
+        """Insert ``vertex`` at the *head* of its bucket (LIFO position)."""
+        if self._present[vertex]:
+            raise ValueError(f"vertex {vertex} already in bucket")
+        if not -self._limit <= key <= self._limit:
+            raise ValueError(
+                f"key {key} outside [-{self._limit}, {self._limit}]"
+            )
+        idx = key + self._limit
+        old_head = self._head[idx]
+        self._next[vertex] = old_head
+        self._prev[vertex] = _NIL
+        if old_head != _NIL:
+            self._prev[old_head] = vertex
+        else:
+            self._tail[idx] = vertex
+        self._head[idx] = vertex
+        self._key[vertex] = key
+        self._present[vertex] = True
+        self._count += 1
+        if idx > self._max_index:
+            self._max_index = idx
+
+    def remove(self, vertex: int) -> None:
+        """Unlink ``vertex`` from its bucket."""
+        if not self._present[vertex]:
+            raise ValueError(f"vertex {vertex} not in bucket")
+        idx = self._key[vertex] + self._limit
+        p, n = self._prev[vertex], self._next[vertex]
+        if p != _NIL:
+            self._next[p] = n
+        else:
+            self._head[idx] = n
+        if n != _NIL:
+            self._prev[n] = p
+        else:
+            self._tail[idx] = p
+        self._present[vertex] = False
+        self._count -= 1
+        if self._count == 0:
+            self._max_index = -1
+        elif idx == self._max_index and self._head[idx] == _NIL:
+            while self._max_index >= 0 and self._head[self._max_index] == _NIL:
+                self._max_index -= 1
+
+    def update(self, vertex: int, new_key: int) -> None:
+        """Move ``vertex`` to the bucket for ``new_key``."""
+        self.remove(vertex)
+        self.insert(vertex, new_key)
+
+    def adjust(self, vertex: int, delta: int) -> None:
+        """Shift ``vertex``'s key by ``delta``."""
+        self.update(vertex, self._key[vertex] + delta)
+
+    # ------------------------------------------------------------------
+    def peek_max(self, fifo: bool = False) -> Optional[int]:
+        """Best-bucket vertex without removal.
+
+        ``fifo=False`` returns the most recently inserted vertex of the
+        max bucket (LIFO); ``fifo=True`` the oldest.
+        """
+        if self._count == 0:
+            return None
+        idx = self._max_index
+        return self._tail[idx] if fifo else self._head[idx]
+
+    def pop_max(self, fifo: bool = False) -> Optional[int]:
+        """Remove and return the best-bucket vertex (or ``None``)."""
+        v = self.peek_max(fifo=fifo)
+        if v is not None:
+            self.remove(v)
+        return v
+
+    def iter_bucket(self, key: int, fifo: bool = False) -> Iterator[int]:
+        """Iterate the vertices holding ``key`` in pop order."""
+        idx = key + self._limit
+        v = self._tail[idx] if fifo else self._head[idx]
+        link = self._prev if fifo else self._next
+        while v != _NIL:
+            yield v
+            v = link[v]
+
+    def iter_descending(self, fifo: bool = False) -> Iterator[int]:
+        """Iterate all vertices, best key first, pop order within a key.
+
+        The FM engine uses this to find the best *feasible* move when the
+        top vertex is blocked by the balance constraint.
+        """
+        idx = self._max_index
+        while idx >= 0:
+            if self._head[idx] != _NIL:
+                yield from self.iter_bucket(idx - self._limit, fifo=fifo)
+            idx -= 1
+
+    def clear(self) -> None:
+        """Empty the structure (O(present vertices))."""
+        for v in range(len(self._present)):
+            if self._present[v]:
+                self._present[v] = False
+        for i in range(len(self._head)):
+            self._head[i] = _NIL
+            self._tail[i] = _NIL
+        self._count = 0
+        self._max_index = -1

@@ -1,0 +1,155 @@
+"""Recursive-bisection k-way partitioning with fixed vertices.
+
+Top-down placement quadrisects or bisects recursively; the paper's
+Section V asks "whether multiway partitioning is as affected by fixed
+terminals".  This module provides k-way partitioning by recursive
+bisection: blocks ``0..k-1`` are split by bit, fixed vertices are routed
+to the sub-block their mandated block belongs to, and each bisection is
+solved by the multilevel engine.  Powers of two split evenly; other k
+split proportionally.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.hypergraph.hypergraph import (
+    Hypergraph,
+    vertex_induced_subhypergraph,
+)
+from repro.partition.balance import BalanceConstraint, relative_balance
+from repro.partition.multilevel import (
+    MultilevelBipartitioner,
+    MultilevelConfig,
+)
+from repro.partition.solution import FREE, cut_size, validate_fixture
+
+
+@dataclass
+class KWayResult:
+    """A k-way solution: block per vertex and its (cut-nets) cost."""
+
+    parts: List[int]
+    num_parts: int
+    cut: int
+
+
+def recursive_bisection(
+    graph: Hypergraph,
+    num_parts: int,
+    tolerance: float = 0.02,
+    fixture: Optional[Sequence[int]] = None,
+    config: Optional[MultilevelConfig] = None,
+    seed: int = 0,
+) -> KWayResult:
+    """Partition ``graph`` into ``num_parts`` blocks.
+
+    ``fixture[v]`` may name any target block in ``0..num_parts-1`` (or
+    ``FREE``).  The per-level balance budget splits the global tolerance
+    evenly across levels, the standard recursive-bisection discipline.
+    """
+    if num_parts < 1:
+        raise ValueError("num_parts must be positive")
+    n = graph.num_vertices
+    if fixture is None:
+        fixture = [FREE] * n
+    validate_fixture(fixture, n, num_parts)
+
+    parts = [0] * n
+    rng = random.Random(seed)
+    _split(
+        graph,
+        list(range(n)),
+        list(fixture),
+        0,
+        num_parts,
+        tolerance,
+        config,
+        parts,
+        rng,
+    )
+    return KWayResult(
+        parts=parts, num_parts=num_parts, cut=cut_size(graph, parts)
+    )
+
+
+def _split(
+    graph: Hypergraph,
+    vertices: List[int],
+    fixture: List[int],
+    base_block: int,
+    num_parts: int,
+    tolerance: float,
+    config: Optional[MultilevelConfig],
+    parts: List[int],
+    rng: random.Random,
+) -> None:
+    """Assign blocks ``base_block..base_block+num_parts-1`` to
+    ``vertices`` (ids in the original graph) by recursive bisection."""
+    if num_parts == 1:
+        for v in vertices:
+            parts[v] = base_block
+        return
+
+    left_parts = num_parts // 2
+    right_parts = num_parts - left_parts
+    sub, order = vertex_induced_subhypergraph(graph, vertices)
+
+    # Fixed vertices whose target block falls in the left half go to
+    # side 0 of this bisection, the rest to side 1.
+    boundary = base_block + left_parts
+    sub_fixture = []
+    for v in order:
+        f = fixture[v]
+        if f == FREE:
+            sub_fixture.append(FREE)
+        else:
+            sub_fixture.append(0 if f < boundary else 1)
+
+    total = sub.total_area
+    left_share = left_parts / num_parts
+    # Asymmetric targets for odd splits; the window width follows the
+    # global tolerance so leaves end up within it of their fair share.
+    left_target = total * left_share
+    slack = total * tolerance / 2.0
+    balance = BalanceConstraint(
+        min_loads=(left_target - slack, (total - left_target) - slack),
+        max_loads=(left_target + slack, (total - left_target) + slack),
+    )
+    engine = MultilevelBipartitioner(
+        sub, balance=balance, fixture=sub_fixture, config=config
+    )
+    solution = engine.run(seed=rng.getrandbits(32)).solution
+
+    left = [order[i] for i, p in enumerate(solution.parts) if p == 0]
+    right = [order[i] for i, p in enumerate(solution.parts) if p == 1]
+    _split(
+        graph, left, fixture, base_block, left_parts,
+        tolerance, config, parts, rng,
+    )
+    _split(
+        graph, right, fixture, boundary, right_parts,
+        tolerance, config, parts, rng,
+    )
+
+
+def kway_balance_check(
+    graph: Hypergraph,
+    result: KWayResult,
+    tolerance: float,
+) -> bool:
+    """Whether every block's area is within ``tolerance`` of fair share.
+
+    Recursive bisection compounds per-level deviations, so callers
+    wanting a strict guarantee should verify with a slightly widened
+    tolerance (two bisection levels each within t/2 can compound to ~t).
+    """
+    constraint = relative_balance(
+        graph.total_area, result.num_parts, tolerance
+    )
+    loads = [0.0] * result.num_parts
+    for v in range(graph.num_vertices):
+        loads[result.parts[v]] += graph.area(v)
+    return constraint.is_feasible(loads)

@@ -1,0 +1,358 @@
+"""Direct k-way FM refinement with fixed vertices.
+
+Section V of the paper leaves open "whether multiway partitioning is as
+affected by fixed terminals".  Answering it needs a multiway engine, so
+this module implements direct k-way FM (Sanchis-style greedy moves under
+the cut-nets objective) rather than only recursive bisection:
+
+* every free vertex owns up to ``k - 1`` candidate moves; the engine
+  tracks each vertex's *best* move in a gain bucket and revalidates
+  lazily on pop (stale entries are re-inserted with their fresh gain);
+* a pass moves each vertex at most once, tracks the best feasible
+  prefix, and rolls back to it, exactly like the 2-way engine;
+* fixed vertices contribute pin counts but never move.
+
+The cut-nets objective (weight of nets spanning >= 2 blocks) matches
+:func:`repro.partition.solution.cut_size` for any k.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.partition.balance import BalanceConstraint
+from repro.partition.gainbucket import GainBucket
+from repro.partition.solution import FREE, cut_size, validate_fixture
+
+_KWAY_PASS_CAP = 100
+
+
+@dataclass(frozen=True)
+class KWayFMConfig:
+    """Tuning knobs of the k-way engine."""
+
+    max_passes: int = -1
+    pass_move_limit_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.pass_move_limit_fraction <= 1.0:
+            raise ValueError("pass_move_limit_fraction must be in (0, 1]")
+        if self.max_passes == 0:
+            raise ValueError("max_passes must be nonzero (or negative)")
+
+
+@dataclass
+class KWayFMResult:
+    """Outcome of a k-way FM run."""
+
+    parts: List[int]
+    cut: int
+    initial_cut: int
+    num_passes: int = 0
+    total_moves: int = 0
+    pass_moves: List[int] = field(default_factory=list)
+
+
+class KWayFMRefiner:
+    """Greedy direct k-way FM bound to (graph, balance, fixture)."""
+
+    def __init__(
+        self,
+        graph: Hypergraph,
+        balance: BalanceConstraint,
+        fixture: Optional[Sequence[int]] = None,
+        config: Optional[KWayFMConfig] = None,
+    ) -> None:
+        self.graph = graph
+        self.balance = balance
+        self.num_parts = balance.num_parts
+        if self.num_parts < 2:
+            raise ValueError("need at least two blocks")
+        self.config = config or KWayFMConfig()
+        n = graph.num_vertices
+        if fixture is None:
+            fixture = [FREE] * n
+        validate_fixture(fixture, n, self.num_parts)
+        self.fixture = list(fixture)
+
+        self._vnets: List[List[int]] = [
+            list(graph.vertex_nets(v)) for v in range(n)
+        ]
+        self._epins: List[List[int]] = [
+            list(graph.net_pins(e)) for e in range(graph.num_nets)
+        ]
+        self._eweight: List[int] = list(graph.net_weights)
+        self._areas: List[float] = list(graph.areas)
+        self._movable: List[int] = [
+            v for v in range(n) if self.fixture[v] == FREE
+        ]
+        self._max_gain = max(
+            (
+                sum(self._eweight[e] for e in self._vnets[v])
+                for v in self._movable
+            ),
+            default=0,
+        )
+        self._escape_slack = min(
+            (
+                self._areas[v]
+                for v in self._movable
+                if self._areas[v] > 0
+            ),
+            default=0.0,
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self, initial_parts: Sequence[int], seed: int = 0
+    ) -> KWayFMResult:
+        """Refine ``initial_parts``; fixed vertices are forced first."""
+        graph = self.graph
+        n = graph.num_vertices
+        if len(initial_parts) != n:
+            raise ValueError("initial_parts length mismatch")
+        parts = [
+            f if f != FREE else int(p)
+            for p, f in zip(initial_parts, self.fixture)
+        ]
+        for v, p in enumerate(parts):
+            if not 0 <= p < self.num_parts:
+                raise ValueError(f"vertex {v} in invalid block {p}")
+
+        loads = [0.0] * self.num_parts
+        for v in range(n):
+            loads[parts[v]] += self._areas[v]
+        cut = cut_size(graph, parts)
+        result = KWayFMResult(
+            parts=parts, cut=cut, initial_cut=cut
+        )
+        if not self._movable:
+            return result
+
+        rng = random.Random(seed)
+        max_passes = self.config.max_passes
+        if max_passes < 0:
+            max_passes = _KWAY_PASS_CAP
+        while result.num_passes < max_passes:
+            key_before = self._progress_key(cut, loads)
+            cut, moves = self._run_pass(parts, loads, cut, rng,
+                                        result.num_passes)
+            result.num_passes += 1
+            result.total_moves += moves
+            result.pass_moves.append(moves)
+            if not self._progress_key(cut, loads) < key_before:
+                break
+        result.parts = parts
+        result.cut = cut
+        return result
+
+    # ------------------------------------------------------------------
+    def _progress_key(
+        self, cut: int, loads: Sequence[float]
+    ) -> Tuple[int, float]:
+        violation = self.balance.violation(loads)
+        if violation == 0.0:
+            return (0, float(cut))
+        return (1, violation)
+
+    def _quality_key(
+        self, cut: int, loads: Sequence[float]
+    ) -> Tuple[int, float, float]:
+        violation = self.balance.violation(loads)
+        if violation == 0.0:
+            return (0, float(cut), max(loads) - min(loads))
+        return (1, violation, float(cut))
+
+    def _best_move(
+        self,
+        v: int,
+        parts: List[int],
+        cnt: List[List[int]],
+        spans: List[int],
+        loads: List[float],
+    ) -> Tuple[int, int]:
+        """Best (gain, target) for vertex ``v`` among feasible targets.
+
+        Returns ``(gain, target)``; target is -1 when no target is
+        feasible under the balance gate.
+        """
+        s = parts[v]
+        best_gain = None
+        best_target = -1
+        for t in range(self.num_parts):
+            if t == s:
+                continue
+            if not self._move_allowed(loads, self._areas[v], s, t):
+                continue
+            gain = 0
+            for e in self._vnets[v]:
+                w = self._eweight[e]
+                if not w:
+                    continue
+                c = cnt[e]
+                span = spans[e]
+                was_cut = span >= 2
+                new_span = span
+                if c[s] == 1:
+                    new_span -= 1
+                if c[t] == 0:
+                    new_span += 1
+                now_cut = new_span >= 2
+                if was_cut and not now_cut:
+                    gain += w
+                elif not was_cut and now_cut:
+                    gain -= w
+            if best_gain is None or gain > best_gain or (
+                gain == best_gain and loads[t] < loads[best_target]
+            ):
+                best_gain = gain
+                best_target = t
+        return (best_gain if best_gain is not None else 0, best_target)
+
+    def _move_allowed(
+        self, loads: List[float], weight: float, source: int, target: int
+    ) -> bool:
+        if self.balance.allows_move(loads, weight, source, target):
+            return True
+        if loads[source] < loads[target]:
+            return False
+        after = list(loads)
+        after[source] -= weight
+        after[target] += weight
+        return self.balance.violation(after) <= self._escape_slack
+
+    def _run_pass(
+        self,
+        parts: List[int],
+        loads: List[float],
+        cut: int,
+        rng: random.Random,
+        pass_index: int,
+    ) -> Tuple[int, int]:
+        graph = self.graph
+        k = self.num_parts
+        num_nets = graph.num_nets
+        cnt = [[0] * k for _ in range(num_nets)]
+        spans = [0] * num_nets
+        for e in range(num_nets):
+            c = cnt[e]
+            for v in self._epins[e]:
+                c[parts[v]] += 1
+            spans[e] = sum(1 for x in c if x)
+
+        bucket = GainBucket(graph.num_vertices, self._max_gain)
+        stored_target = [-1] * graph.num_vertices
+        order = list(self._movable)
+        rng.shuffle(order)
+        for v in order:
+            gain, target = self._best_move(v, parts, cnt, spans, loads)
+            if target >= 0:
+                bucket.insert(v, gain)
+                stored_target[v] = target
+
+        movable_count = len(self._movable)
+        if pass_index == 0 or self.config.pass_move_limit_fraction >= 1.0:
+            move_limit = movable_count
+        else:
+            move_limit = max(
+                1,
+                int(self.config.pass_move_limit_fraction * movable_count),
+            )
+
+        move_log: List[Tuple[int, int, int]] = []  # (v, source, target)
+        best_prefix = 0
+        best_cut = cut
+        best_key = self._quality_key(cut, loads)
+        locked = [False] * graph.num_vertices
+
+        while len(move_log) < move_limit and len(bucket):
+            v = bucket.pop_max()
+            stored_gain = bucket.key_of(v)
+            gain, target = self._best_move(v, parts, cnt, spans, loads)
+            if target < 0:
+                continue  # no longer feasible; drop from this pass
+            if gain != stored_gain or target != stored_target[v]:
+                # Stale entry: re-insert with the fresh gain unless the
+                # fresh gain is still the bucket maximum.
+                current_max = bucket.max_key()
+                if current_max is not None and gain < current_max:
+                    bucket.insert(v, gain)
+                    stored_target[v] = target
+                    continue
+            s = parts[v]
+            # Apply the move.
+            for e in self._vnets[v]:
+                c = cnt[e]
+                c[s] -= 1
+                if c[s] == 0:
+                    spans[e] -= 1
+                if c[target] == 0:
+                    spans[e] += 1
+                c[target] += 1
+            parts[v] = target
+            loads[s] -= self._areas[v]
+            loads[target] += self._areas[v]
+            cut -= gain
+            locked[v] = True
+            move_log.append((v, s, target))
+            key = self._quality_key(cut, loads)
+            if key < best_key:
+                best_key = key
+                best_cut = cut
+                best_prefix = len(move_log)
+
+        for v, s, t in reversed(move_log[best_prefix:]):
+            parts[v] = s
+            loads[t] -= self._areas[v]
+            loads[s] += self._areas[v]
+        return best_cut, len(move_log)
+
+
+def kway_fm_partition(
+    graph: Hypergraph,
+    balance: BalanceConstraint,
+    fixture: Optional[Sequence[int]] = None,
+    config: Optional[KWayFMConfig] = None,
+    seed: int = 0,
+) -> KWayFMResult:
+    """Construct-and-refine: random balanced k-way start, then k-way FM.
+
+    The construction visits free vertices largest-first and assigns each
+    to the feasible block with the most remaining capacity.
+    """
+    num_parts = balance.num_parts
+    n = graph.num_vertices
+    if fixture is None:
+        fixture = [FREE] * n
+    validate_fixture(fixture, n, num_parts)
+    rng = random.Random(seed)
+
+    parts = [0] * n
+    loads = [0.0] * num_parts
+    free = []
+    for v in range(n):
+        f = fixture[v]
+        if f == FREE:
+            free.append(v)
+        else:
+            parts[v] = f
+            loads[f] += graph.area(v)
+    rng.shuffle(free)
+    free.sort(key=graph.area, reverse=True)
+    targets = [
+        (lo + hi) / 2.0
+        for lo, hi in zip(balance.min_loads, balance.max_loads)
+    ]
+    for v in free:
+        remaining = [targets[b] - loads[b] for b in range(num_parts)]
+        best = max(remaining)
+        choices = [b for b, r in enumerate(remaining) if r == best]
+        block = rng.choice(choices)
+        parts[v] = block
+        loads[block] += graph.area(v)
+
+    refiner = KWayFMRefiner(graph, balance, fixture=fixture, config=config)
+    return refiner.run(parts, seed=rng.getrandbits(32))

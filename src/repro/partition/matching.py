@@ -1,0 +1,189 @@
+"""Coarsening matchings for the multilevel partitioner.
+
+Heavy-edge matching pairs each vertex with the unmatched neighbour it
+shares the most (clique-normalised) net weight with -- the scheme of the
+multilevel partitioners the paper builds on (MLC, hMetis).  Fixed
+vertices obey the fixed-vertex clustering rules: a fixed vertex may
+absorb a free one (the cluster inherits the fixture) or another vertex
+fixed in the *same* block, but vertices fixed in different blocks never
+merge.  A random matching is provided as the ablation baseline.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.hypergraph.contraction import Contraction, contract
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.partition.solution import FREE, validate_fixture
+
+
+def _compatible(f_a: int, f_b: int) -> bool:
+    """Fixture compatibility for merging two vertices."""
+    return f_a == FREE or f_b == FREE or f_a == f_b
+
+
+def _merged_fixture(f_a: int, f_b: int) -> int:
+    """Fixture of the merged cluster (assumes compatibility)."""
+    return f_a if f_a != FREE else f_b
+
+
+def heavy_edge_matching(
+    graph: Hypergraph,
+    fixture: Optional[Sequence[int]] = None,
+    rng: Optional[random.Random] = None,
+    max_cluster_area: Optional[float] = None,
+    max_net_size: int = 64,
+) -> List[int]:
+    """Cluster labels from one round of heavy-edge matching.
+
+    Vertices are visited in random order; each unmatched vertex merges
+    with the unmatched, fixture-compatible neighbour of the highest
+    connectivity score ``sum(w(e) / (|e| - 1))`` over shared nets, unless
+    the merged area would exceed ``max_cluster_area``.  Nets larger than
+    ``max_net_size`` are ignored when scoring (huge nets carry almost no
+    locality signal and dominate runtime).  Unmatched vertices stay
+    singletons.  The returned labels are contiguous cluster ids.
+    """
+    n = graph.num_vertices
+    rng = rng or random.Random()
+    if fixture is None:
+        fixture = [FREE] * n
+    validate_fixture(fixture, n, max(fixture, default=0) + 1 or 1)
+    if max_cluster_area is None:
+        max_cluster_area = float("inf")
+
+    order = list(range(n))
+    rng.shuffle(order)
+    match = [-1] * n
+    for v in order:
+        if match[v] != -1:
+            continue
+        scores: Dict[int, float] = {}
+        for e in graph.vertex_nets(v):
+            size = graph.net_size(e)
+            if size < 2 or size > max_net_size:
+                continue
+            share = graph.net_weight(e) / (size - 1)
+            for u in graph.net_pins(e):
+                if u != v and match[u] == -1:
+                    scores[u] = scores.get(u, 0.0) + share
+        best_u = -1
+        best_score = 0.0
+        area_v = graph.area(v)
+        for u, score in scores.items():
+            if not _compatible(fixture[v], fixture[u]):
+                continue
+            if area_v + graph.area(u) > max_cluster_area:
+                continue
+            if score > best_score or (
+                score == best_score and best_u != -1 and u < best_u
+            ):
+                best_u = u
+                best_score = score
+        if best_u != -1:
+            match[v] = v
+            match[best_u] = v
+
+    labels = [0] * n
+    next_id = 0
+    leader_id: Dict[int, int] = {}
+    for v in range(n):
+        leader = match[v] if match[v] != -1 else v
+        if leader not in leader_id:
+            leader_id[leader] = next_id
+            next_id += 1
+        labels[v] = leader_id[leader]
+    return labels
+
+
+def random_matching(
+    graph: Hypergraph,
+    fixture: Optional[Sequence[int]] = None,
+    rng: Optional[random.Random] = None,
+    max_cluster_area: Optional[float] = None,
+) -> List[int]:
+    """Match each vertex with a random compatible unmatched neighbour.
+
+    The ablation baseline for the matching-scheme study.
+    """
+    n = graph.num_vertices
+    rng = rng or random.Random()
+    if fixture is None:
+        fixture = [FREE] * n
+    if max_cluster_area is None:
+        max_cluster_area = float("inf")
+
+    order = list(range(n))
+    rng.shuffle(order)
+    match = [-1] * n
+    for v in order:
+        if match[v] != -1:
+            continue
+        candidates = []
+        for e in graph.vertex_nets(v):
+            for u in graph.net_pins(e):
+                if (
+                    u != v
+                    and match[u] == -1
+                    and _compatible(fixture[v], fixture[u])
+                    and graph.area(v) + graph.area(u) <= max_cluster_area
+                ):
+                    candidates.append(u)
+        if candidates:
+            u = rng.choice(candidates)
+            match[v] = v
+            match[u] = v
+
+    labels = [0] * n
+    next_id = 0
+    leader_id: Dict[int, int] = {}
+    for v in range(n):
+        leader = match[v] if match[v] != -1 else v
+        if leader not in leader_id:
+            leader_id[leader] = next_id
+            next_id += 1
+        labels[v] = leader_id[leader]
+    return labels
+
+
+def coarsen(
+    graph: Hypergraph,
+    fixture: Sequence[int],
+    labels: Sequence[int],
+) -> "CoarseLevel":
+    """Contract ``graph`` by ``labels`` and propagate the fixture."""
+    contraction = contract(graph, labels)
+    k = contraction.coarse.num_vertices
+    coarse_fixture = [FREE] * k
+    for v, c in enumerate(labels):
+        f = fixture[v]
+        if f == FREE:
+            continue
+        if coarse_fixture[c] == FREE:
+            coarse_fixture[c] = f
+        elif coarse_fixture[c] != f:
+            raise ValueError(
+                f"cluster {c} merges vertices fixed in blocks "
+                f"{coarse_fixture[c]} and {f}"
+            )
+    return CoarseLevel(contraction=contraction, fixture=coarse_fixture)
+
+
+class CoarseLevel:
+    """One level of the multilevel hierarchy: a contraction plus the
+    fixture vector induced on the coarse vertices."""
+
+    def __init__(self, contraction: Contraction, fixture: List[int]) -> None:
+        self.contraction = contraction
+        self.fixture = fixture
+
+    @property
+    def coarse(self) -> Hypergraph:
+        """The contracted hypergraph."""
+        return self.contraction.coarse
+
+    def project(self, coarse_parts: Sequence[int]) -> List[int]:
+        """Lift a coarse partition to the fine hypergraph."""
+        return self.contraction.project_partition(coarse_parts)

@@ -1,0 +1,441 @@
+"""Multi-balanced 2-way FM: every resource balanced simultaneously.
+
+Section IV of the paper proposes "multibalanced partitioning problems
+where each module supplies the same number (k > 1) of resource types"
+-- e.g. cell area, pin count and power must all distribute evenly.
+This engine extends flat FM to that setting: block loads are vectors,
+one entry per resource, and a move is legal only if *every* resource's
+window accepts it (:class:`MultiBalanceConstraint`).
+
+Gain bookkeeping is identical to the single-resource engine (the cut
+objective doesn't change); only the balance gate and the quality key
+differ, so the implementation mirrors :mod:`repro.partition.fm` with
+vectorised loads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.partition.balance import MultiBalanceConstraint
+from repro.partition.fm import _HARD_PASS_CAP
+from repro.partition.gainbucket import GainBucket
+from repro.partition.solution import (
+    FREE,
+    Bipartition,
+    cut_size,
+    validate_fixture,
+)
+
+
+@dataclass(frozen=True)
+class MultiResourceFMConfig:
+    """Tuning knobs (same semantics as :class:`FMConfig`)."""
+
+    max_passes: int = -1
+    pass_move_limit_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.pass_move_limit_fraction <= 1.0:
+            raise ValueError("pass_move_limit_fraction must be in (0, 1]")
+        if self.max_passes == 0:
+            raise ValueError("max_passes must be nonzero (or negative)")
+
+
+@dataclass
+class MultiResourceFMResult:
+    """Outcome of a multi-balanced FM run."""
+
+    solution: Bipartition
+    initial_cut: int
+    num_passes: int = 0
+    total_moves: int = 0
+
+
+class MultiResourceFMBipartitioner:
+    """2-way FM under a :class:`MultiBalanceConstraint`."""
+
+    def __init__(
+        self,
+        graph: Hypergraph,
+        balance: MultiBalanceConstraint,
+        fixture: Optional[Sequence[int]] = None,
+        config: Optional[MultiResourceFMConfig] = None,
+    ) -> None:
+        if balance.num_parts != 2:
+            raise ValueError("this engine is strictly 2-way")
+        if balance.num_resources > graph.num_resources:
+            raise ValueError(
+                f"balance names {balance.num_resources} resources but "
+                f"the graph carries {graph.num_resources}"
+            )
+        self.graph = graph
+        self.balance = balance
+        self.config = config or MultiResourceFMConfig()
+        n = graph.num_vertices
+        if fixture is None:
+            fixture = [FREE] * n
+        validate_fixture(fixture, n, 2)
+        self.fixture = list(fixture)
+
+        self._vnets: List[List[int]] = [
+            list(graph.vertex_nets(v)) for v in range(n)
+        ]
+        self._epins: List[List[int]] = [
+            list(graph.net_pins(e)) for e in range(graph.num_nets)
+        ]
+        self._eweight: List[int] = list(graph.net_weights)
+        resources = balance.num_resources
+        self._weights: List[List[float]] = [
+            [graph.resource(v, r) for r in range(resources)]
+            for v in range(n)
+        ]
+        self._movable: List[int] = [
+            v for v in range(n) if self.fixture[v] == FREE
+        ]
+        self._max_gain = max(
+            (
+                sum(self._eweight[e] for e in self._vnets[v])
+                for v in self._movable
+            ),
+            default=0,
+        )
+        # Per-resource escape slack: the smallest positive quantum by
+        # which that resource's loads can change.
+        self._escape_slack = sum(
+            min(
+                (
+                    self._weights[v][r]
+                    for v in self._movable
+                    if self._weights[v][r] > 0
+                ),
+                default=0.0,
+            )
+            for r in range(resources)
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, initial_parts: Sequence[int]) -> MultiResourceFMResult:
+        """Improve ``initial_parts`` under all resource windows."""
+        graph = self.graph
+        n = graph.num_vertices
+        if len(initial_parts) != n:
+            raise ValueError("initial_parts length mismatch")
+        parts = [
+            f if f != FREE else int(p)
+            for p, f in zip(initial_parts, self.fixture)
+        ]
+        for v, p in enumerate(parts):
+            if p not in (0, 1):
+                raise ValueError(f"vertex {v} assigned to invalid side {p}")
+
+        resources = self.balance.num_resources
+        loads = [[0.0, 0.0] for _ in range(resources)]
+        for v in range(n):
+            w = self._weights[v]
+            side = parts[v]
+            for r in range(resources):
+                loads[r][side] += w[r]
+        cut = cut_size(graph, parts)
+        result = MultiResourceFMResult(
+            solution=Bipartition(parts=parts, cut=cut), initial_cut=cut
+        )
+        if not self._movable:
+            return result
+
+        max_passes = self.config.max_passes
+        if max_passes < 0:
+            max_passes = _HARD_PASS_CAP
+        while result.num_passes < max_passes:
+            key_before = self._progress_key(cut, loads)
+            cut, moves = self._run_pass(
+                parts, loads, cut, result.num_passes
+            )
+            result.num_passes += 1
+            result.total_moves += moves
+            if not self._progress_key(cut, loads) < key_before:
+                break
+        result.solution = Bipartition(parts=parts, cut=cut)
+        return result
+
+    # ------------------------------------------------------------------
+    def _violation(self, loads: List[List[float]]) -> float:
+        return sum(
+            c.violation(res_loads)
+            for c, res_loads in zip(self.balance.constraints, loads)
+        )
+
+    def _progress_key(
+        self, cut: int, loads: List[List[float]]
+    ) -> Tuple[int, float]:
+        violation = self._violation(loads)
+        if violation == 0.0:
+            return (0, float(cut))
+        return (1, violation)
+
+    def _quality_key(
+        self, cut: int, loads: List[List[float]]
+    ) -> Tuple[int, float, float]:
+        violation = self._violation(loads)
+        imbalance = sum(abs(l[0] - l[1]) for l in loads)
+        if violation == 0.0:
+            return (0, float(cut), imbalance)
+        return (1, violation, float(cut))
+
+    def _move_allowed(
+        self, loads: List[List[float]], v: int, source: int, target: int
+    ) -> bool:
+        weights = self._weights[v]
+        if self.balance.allows_move(loads, weights, source, target):
+            return True
+        after = [
+            [
+                l[0] - w if source == 0 else l[0] + w,
+                l[1] - w if source == 1 else l[1] + w,
+            ]
+            for l, w in zip(loads, weights)
+        ]
+        # Repairing the *total* violation is allowed even when a single
+        # resource's window worsens -- multi-resource repair regularly
+        # has to trade one resource against another, which the
+        # per-resource gate of MultiBalanceConstraint would forbid.
+        if self._violation(after) < self._violation(loads):
+            return True
+        # Escape hatch analogous to the scalar engine: the move must go
+        # off the (total-)heavier side and land within the combined
+        # per-resource quanta.
+        total_source = sum(l[source] for l in loads)
+        total_target = sum(l[target] for l in loads)
+        if total_source < total_target:
+            return False
+        return self._violation(after) <= self._escape_slack
+
+    def _run_pass(
+        self,
+        parts: List[int],
+        loads: List[List[float]],
+        cut: int,
+        pass_index: int,
+    ) -> Tuple[int, int]:
+        graph = self.graph
+        epins = self._epins
+        eweight = self._eweight
+        vnets = self._vnets
+
+        num_nets = graph.num_nets
+        cnt = [[0, 0] for _ in range(num_nets)]
+        for e in range(num_nets):
+            c = cnt[e]
+            for v in epins[e]:
+                c[parts[v]] += 1
+
+        gain = [0] * graph.num_vertices
+        for v in self._movable:
+            s = parts[v]
+            g = 0
+            for e in vnets[v]:
+                c = cnt[e]
+                w = eweight[e]
+                if c[s] == 1:
+                    g += w
+                if c[1 - s] == 0:
+                    g -= w
+            gain[v] = g
+
+        buckets = (
+            GainBucket(graph.num_vertices, self._max_gain),
+            GainBucket(graph.num_vertices, self._max_gain),
+        )
+        for v in self._movable:
+            buckets[parts[v]].insert(v, gain[v])
+
+        movable_count = len(self._movable)
+        if pass_index == 0 or self.config.pass_move_limit_fraction >= 1.0:
+            move_limit = movable_count
+        else:
+            move_limit = max(
+                1,
+                int(self.config.pass_move_limit_fraction * movable_count),
+            )
+
+        resources = self.balance.num_resources
+        move_log: List[int] = []
+        best_prefix = 0
+        best_cut = cut
+        best_key = self._quality_key(cut, loads)
+
+        while len(move_log) < move_limit:
+            v = self._select_move(buckets, loads)
+            if v is None:
+                break
+            s = parts[v]
+            t = 1 - s
+            buckets[s].remove(v)
+            cut -= gain[v]
+            for e in vnets[v]:
+                c = cnt[e]
+                w = eweight[e]
+                if w:
+                    if c[t] == 0:
+                        self._bump_all_free(e, w, gain, buckets, parts)
+                    elif c[t] == 1:
+                        self._bump_single(e, t, -w, gain, buckets, parts, v)
+                c[s] -= 1
+                c[t] += 1
+                if w:
+                    if c[s] == 0:
+                        self._bump_all_free(e, -w, gain, buckets, parts)
+                    elif c[s] == 1:
+                        self._bump_single(e, s, w, gain, buckets, parts, v)
+            parts[v] = t
+            weights = self._weights[v]
+            for r in range(resources):
+                loads[r][s] -= weights[r]
+                loads[r][t] += weights[r]
+            move_log.append(v)
+            key = self._quality_key(cut, loads)
+            if key < best_key:
+                best_key = key
+                best_cut = cut
+                best_prefix = len(move_log)
+
+        for v in reversed(move_log[best_prefix:]):
+            t = parts[v]
+            s = 1 - t
+            parts[v] = s
+            weights = self._weights[v]
+            for r in range(resources):
+                loads[r][t] -= weights[r]
+                loads[r][s] += weights[r]
+        return best_cut, len(move_log)
+
+    def _select_move(
+        self,
+        buckets: Tuple[GainBucket, GainBucket],
+        loads: List[List[float]],
+    ) -> Optional[int]:
+        best_v: Optional[int] = None
+        best_side = -1
+        best_key = 0
+        totals = [sum(l[0] for l in loads), sum(l[1] for l in loads)]
+        for side in (0, 1):
+            bucket = buckets[side]
+            for v in bucket.iter_descending():
+                key = bucket.key_of(v)
+                if best_v is not None and key < best_key:
+                    break
+                if self._move_allowed(loads, v, side, 1 - side):
+                    if (
+                        best_v is None
+                        or key > best_key
+                        or (
+                            key == best_key
+                            and totals[side] > totals[best_side]
+                        )
+                    ):
+                        best_v, best_side, best_key = v, side, key
+                    break
+        return best_v
+
+    def _bump_all_free(
+        self,
+        e: int,
+        delta: int,
+        gain: List[int],
+        buckets: Tuple[GainBucket, GainBucket],
+        parts: List[int],
+    ) -> None:
+        for u in self._epins[e]:
+            bucket = buckets[parts[u]]
+            if u in bucket:
+                gain[u] += delta
+                bucket.adjust(u, delta)
+
+    def _bump_single(
+        self,
+        e: int,
+        side: int,
+        delta: int,
+        gain: List[int],
+        buckets: Tuple[GainBucket, GainBucket],
+        parts: List[int],
+        moving: int,
+    ) -> None:
+        for u in self._epins[e]:
+            if u != moving and parts[u] == side:
+                bucket = buckets[side]
+                if u in bucket:
+                    gain[u] += delta
+                    bucket.adjust(u, delta)
+                return
+
+
+def multi_resource_initial(
+    graph: Hypergraph,
+    balance: MultiBalanceConstraint,
+    fixture: Optional[Sequence[int]] = None,
+    seed: int = 0,
+) -> List[int]:
+    """Greedy vector bin-filling construction.
+
+    Visits free vertices largest-first (by total normalised weight) and
+    assigns each to the side with the larger remaining vector capacity,
+    measured as the sum of per-resource shortfalls.
+    """
+    import random
+
+    n = graph.num_vertices
+    if fixture is None:
+        fixture = [FREE] * n
+    validate_fixture(fixture, n, 2)
+    rng = random.Random(seed)
+    resources = balance.num_resources
+
+    totals = [
+        sum(graph.resource_vector(r)) or 1.0 for r in range(resources)
+    ]
+    weights = [
+        [graph.resource(v, r) / totals[r] for r in range(resources)]
+        for v in range(n)
+    ]
+    parts = [0] * n
+    loads = [[0.0, 0.0] for _ in range(resources)]
+    free = []
+    for v in range(n):
+        f = fixture[v]
+        if f == FREE:
+            free.append(v)
+        else:
+            parts[v] = f
+            for r in range(resources):
+                loads[r][f] += weights[v][r]
+    rng.shuffle(free)
+    free.sort(key=lambda v: sum(weights[v]), reverse=True)
+
+    centers = [
+        [
+            (c.min_loads[side] + c.max_loads[side]) / 2.0 / total
+            for side in (0, 1)
+        ]
+        for c, total in zip(balance.constraints, totals)
+    ]
+    for v in free:
+        shortfall = [
+            sum(
+                centers[r][side] - loads[r][side]
+                for r in range(resources)
+            )
+            for side in (0, 1)
+        ]
+        if shortfall[0] > shortfall[1]:
+            side = 0
+        elif shortfall[1] > shortfall[0]:
+            side = 1
+        else:
+            side = rng.randrange(2)
+        parts[v] = side
+        for r in range(resources):
+            loads[r][side] += weights[v][r]
+    return parts

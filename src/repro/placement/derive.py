@@ -1,0 +1,153 @@
+"""Deriving fixed-terminals partitioning instances from placements.
+
+Section IV's construction, verbatim from the paper:
+
+    "A block is defined by a rectangular axis-parallel bounding box.  An
+    axis-parallel cutline bisects a given block.  Each cell contained in
+    the block induces a movable vertex of the hypergraph.  Each pad
+    adjacent to some cell in the block induces a zero-area terminal
+    vertex of the hypergraph, fixed in the closest partition; adjacent
+    cells not in the block similarly induce terminal vertices."
+
+The construction deliberately creates more terminal vertices than there
+are external nets ("this does not affect the partitioning problem since
+pads have zero areas"); :func:`instance_parameters` reports both counts,
+which is what Table IV tabulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.instance import PartitioningInstance
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.partition.balance import relative_balance
+from repro.placement.geometry import Cutline, Rect, midline
+from repro.placement.placer import Placement
+
+
+def derive_instance(
+    placement: Placement,
+    block: Rect,
+    cutline: Optional[Cutline] = None,
+    axis: Optional[str] = None,
+    tolerance: float = 0.02,
+    name: str = "derived",
+) -> PartitioningInstance:
+    """Build the fixed-terminals bipartitioning instance of ``block``.
+
+    Either pass an explicit ``cutline`` or an ``axis`` (the cutline then
+    bisects the block at its midline).  Vertices of the instance are the
+    in-block cells followed by the induced terminals; terminals are
+    fixed in the cutline side nearest their placed location.
+    """
+    if cutline is None:
+        if axis is None:
+            raise ValueError("pass either cutline or axis")
+        cutline = midline(block, axis)
+    graph = placement.graph
+    pads = set(placement.pad_vertices)
+
+    inside: List[int] = []
+    for v in range(graph.num_vertices):
+        if v in pads:
+            continue
+        x, y = placement.positions[v]
+        if block.contains(x, y):
+            inside.append(v)
+    inside_set = set(inside)
+
+    local: Dict[int, int] = {v: i for i, v in enumerate(inside)}
+    areas = [graph.area(v) for v in inside]
+    names = [graph.vertex_name(v) for v in inside]
+    fixture_sets: List[Optional[frozenset]] = [None] * len(inside)
+    terminal_ids: List[int] = []
+
+    nets: List[List[int]] = []
+    weights: List[int] = []
+    net_names: List[str] = []
+    for e in range(graph.num_nets):
+        pins = graph.net_pins(e)
+        inside_pins = [v for v in pins if v in inside_set]
+        if not inside_pins:
+            continue
+        net_local = [local[v] for v in inside_pins]
+        for v in pins:
+            if v in inside_set:
+                continue
+            if v not in local:
+                local[v] = len(areas)
+                areas.append(0.0)
+                names.append(graph.vertex_name(v))
+                x, y = placement.positions[v]
+                fixture_sets.append(frozenset([cutline.side_of(x, y)]))
+                terminal_ids.append(local[v])
+            net_local.append(local[v])
+        if len(net_local) >= 2:
+            nets.append(net_local)
+            weights.append(graph.net_weight(e))
+            net_names.append(graph.net_name(e))
+
+    sub = Hypergraph(
+        nets,
+        num_vertices=len(areas),
+        areas=areas,
+        net_weights=weights,
+        vertex_names=names,
+        net_names=net_names,
+    )
+    balance = relative_balance(sub.total_area, 2, tolerance)
+    return PartitioningInstance(
+        graph=sub,
+        num_parts=2,
+        balance=balance,
+        fixture_sets=fixture_sets,
+        pad_vertices=terminal_ids,
+        name=name,
+    )
+
+
+@dataclass(frozen=True)
+class InstanceParameters:
+    """The Table IV row of one derived instance."""
+
+    name: str
+    num_cells: int
+    num_terminals: int
+    num_nets: int
+    num_external_nets: int
+    max_cell_area_percent: float
+
+    def format_row(self) -> str:
+        """Fixed-width row matching the Table IV layout."""
+        return (
+            f"{self.name:<16s} {self.num_cells:>8d} {self.num_terminals:>8d} "
+            f"{self.num_nets:>8d} {self.num_external_nets:>8d} "
+            f"{self.max_cell_area_percent:>7.2f}"
+        )
+
+
+def instance_parameters(instance: PartitioningInstance) -> InstanceParameters:
+    """Compute the benchmark-parameter row for a derived instance."""
+    graph = instance.graph
+    terminals = set(instance.pad_vertices)
+    external = 0
+    for e in range(graph.num_nets):
+        if any(v in terminals for v in graph.net_pins(e)):
+            external += 1
+    cell_areas = [
+        graph.area(v)
+        for v in range(graph.num_vertices)
+        if v not in terminals
+    ]
+    total = sum(cell_areas)
+    max_pct = 100.0 * max(cell_areas, default=0.0) / total if total else 0.0
+    return InstanceParameters(
+        name=instance.name,
+        num_cells=graph.num_vertices - len(terminals),
+        num_terminals=len(terminals),
+        num_nets=graph.num_nets,
+        num_external_nets=external,
+        max_cell_area_percent=max_pct,
+    )

@@ -1,0 +1,113 @@
+"""Planar geometry for top-down placement.
+
+Axis-parallel rectangles and cutlines are all the geometry the paper's
+benchmark construction needs: "A block is defined by a rectangular
+axis-parallel bounding box.  An axis-parallel cutline bisects a given
+block."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+VERTICAL = "V"
+HORIZONTAL = "H"
+AXES = (VERTICAL, HORIZONTAL)
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Axis-parallel rectangle ``[x0, x1] x [y0, y1]``."""
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def __post_init__(self) -> None:
+        if self.x1 < self.x0 or self.y1 < self.y0:
+            raise ValueError(f"degenerate rectangle: {self}")
+
+    @property
+    def width(self) -> float:
+        """Horizontal extent."""
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> float:
+        """Vertical extent."""
+        return self.y1 - self.y0
+
+    @property
+    def area(self) -> float:
+        """Geometric area."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        """Midpoint."""
+        return ((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+
+    def contains(self, x: float, y: float) -> bool:
+        """Closed containment test."""
+        return self.x0 <= x <= self.x1 and self.y0 <= y <= self.y1
+
+    def long_axis(self) -> str:
+        """Cut direction splitting the longer dimension.
+
+        A VERTICAL cutline is a vertical line (splits the width); ties
+        go to VERTICAL, matching the convention of cutting wide blocks
+        first in top-down placement.
+        """
+        return VERTICAL if self.width >= self.height else HORIZONTAL
+
+    def split(self, axis: str, fraction: float = 0.5) -> Tuple["Rect", "Rect"]:
+        """Split by a cutline; returns (low side, high side).
+
+        ``fraction`` positions the cutline within the axis extent, so an
+        area-proportional cut passes the partitioned area share.  Side 0
+        is left of a vertical cutline / below a horizontal one.
+        """
+        if not 0.0 < fraction < 1.0:
+            raise ValueError("fraction must be strictly inside (0, 1)")
+        if axis == VERTICAL:
+            xc = self.x0 + self.width * fraction
+            return (
+                Rect(self.x0, self.y0, xc, self.y1),
+                Rect(xc, self.y0, self.x1, self.y1),
+            )
+        if axis == HORIZONTAL:
+            yc = self.y0 + self.height * fraction
+            return (
+                Rect(self.x0, self.y0, self.x1, yc),
+                Rect(self.x0, yc, self.x1, self.y1),
+            )
+        raise ValueError(f"unknown axis {axis!r}")
+
+
+@dataclass(frozen=True)
+class Cutline:
+    """A bisecting cutline of a block: axis plus absolute position."""
+
+    axis: str
+    position: float
+
+    def __post_init__(self) -> None:
+        if self.axis not in AXES:
+            raise ValueError(f"unknown axis {self.axis!r}")
+
+    def side_of(self, x: float, y: float) -> int:
+        """Which side a point falls on (0 = low coordinate side).
+
+        Points exactly on the line go to side 0; the derivation's
+        "closest partition" rule only needs a consistent convention.
+        """
+        coordinate = x if self.axis == VERTICAL else y
+        return 0 if coordinate <= self.position else 1
+
+
+def midline(block: Rect, axis: str) -> Cutline:
+    """The cutline bisecting ``block`` at its geometric middle."""
+    cx, cy = block.center
+    return Cutline(axis=axis, position=cx if axis == VERTICAL else cy)

@@ -1,0 +1,63 @@
+"""Instance naming for placement-derived benchmarks.
+
+The paper names each partitioning instance "with the level at which it
+occurs (L0, L1, etc.) and the partitioning choices at higher levels
+which define it.  For instance, L1_V0 is the left block of a top-level
+vertical bisection."  A block is therefore a path of (axis, side) steps
+from the die.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Sequence, Tuple
+
+from repro.placement.geometry import AXES, Rect
+
+BlockPath = Sequence[Tuple[str, int]]
+"""Steps from the die to a block: (axis, side) with side 0 = low."""
+
+_STEP_RE = re.compile(r"^([VH])([01])$")
+
+
+def block_name(path: BlockPath) -> str:
+    """Name of the block reached via ``path`` (the die itself is L0)."""
+    steps = [f"{axis}{side}" for axis, side in path]
+    for axis, side in path:
+        if axis not in AXES:
+            raise ValueError(f"unknown axis {axis!r}")
+        if side not in (0, 1):
+            raise ValueError(f"invalid side {side}")
+    if not steps:
+        return "L0"
+    return f"L{len(steps)}_" + "_".join(steps)
+
+
+def parse_block_name(name: str) -> List[Tuple[str, int]]:
+    """Inverse of :func:`block_name`."""
+    parts = name.split("_")
+    match = re.match(r"^L(\d+)$", parts[0])
+    if not match:
+        raise ValueError(f"bad block name {name!r}: missing level prefix")
+    level = int(match.group(1))
+    steps = parts[1:]
+    if len(steps) != level:
+        raise ValueError(
+            f"bad block name {name!r}: level {level} but {len(steps)} steps"
+        )
+    path = []
+    for step in steps:
+        m = _STEP_RE.match(step)
+        if not m:
+            raise ValueError(f"bad block name {name!r}: step {step!r}")
+        path.append((m.group(1), int(m.group(2))))
+    return path
+
+
+def block_region(die: Rect, path: BlockPath) -> Rect:
+    """The block's bounding box under geometric (midpoint) bisections."""
+    region = die
+    for axis, side in path:
+        low, high = region.split(axis)
+        region = low if side == 0 else high
+    return region

@@ -1,0 +1,84 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.hypergraph import (
+    CircuitSpec,
+    Hypergraph,
+    chain_hypergraph,
+    clustered_hypergraph,
+    generate_circuit,
+    grid_hypergraph,
+)
+from repro.partition import relative_bipartition_balance
+
+
+@pytest.fixture
+def triangle() -> Hypergraph:
+    """Three vertices, three 2-pin nets forming a triangle."""
+    return Hypergraph([[0, 1], [1, 2], [0, 2]], num_vertices=3)
+
+
+@pytest.fixture
+def small_hypergraph() -> Hypergraph:
+    """A hand-checkable 6-vertex hypergraph with a 3-pin net.
+
+    Nets: {0,1}, {1,2,3}, {3,4}, {4,5}, {0,5}.  Unit areas, unit weights.
+    """
+    return Hypergraph(
+        [[0, 1], [1, 2, 3], [3, 4], [4, 5], [0, 5]],
+        num_vertices=6,
+    )
+
+
+@pytest.fixture
+def weighted_hypergraph() -> Hypergraph:
+    """Varied areas and net weights for balance/gain testing."""
+    return Hypergraph(
+        [[0, 1], [1, 2], [2, 3], [3, 0], [0, 2]],
+        num_vertices=4,
+        areas=[1.0, 2.0, 3.0, 2.0],
+        net_weights=[1, 2, 1, 3, 2],
+    )
+
+
+@pytest.fixture
+def chain20() -> Hypergraph:
+    """20-vertex path; minimum bisection cut is exactly 1."""
+    return chain_hypergraph(20)
+
+
+@pytest.fixture
+def grid8x8() -> Hypergraph:
+    """8x8 grid; minimum bisection cut is exactly 8."""
+    return grid_hypergraph(8, 8)
+
+
+@pytest.fixture
+def clusters4() -> Hypergraph:
+    """Four dense 8-vertex clusters with sparse bridges."""
+    return clustered_hypergraph(
+        num_clusters=4, cluster_size=8, intra_nets=24, inter_nets=6, seed=11
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_circuit():
+    """A 300-cell synthetic circuit shared across integration tests."""
+    return generate_circuit(CircuitSpec(num_cells=300, name="t300"), seed=77)
+
+
+@pytest.fixture(scope="session")
+def tiny_balance(tiny_circuit):
+    """The paper's 2% balance for the tiny circuit."""
+    return relative_bipartition_balance(tiny_circuit.graph.total_area, 0.02)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG."""
+    return random.Random(12345)

@@ -1,0 +1,96 @@
+"""Tests for degree-of-constraint measures."""
+
+import random
+
+import pytest
+
+from repro.core import cluster_terminals, constraint_profile
+from repro.hypergraph import CircuitSpec, Hypergraph, generate_circuit
+from repro.partition import FREE
+
+
+class TestProfileBasics:
+    def test_free_instance_all_zero(self, small_hypergraph):
+        profile = constraint_profile(
+            small_hypergraph, [FREE] * 6
+        )
+        assert profile.fixed_fraction == 0.0
+        assert profile.anchored_vertex_fraction == 0.0
+        assert profile.anchored_net_fraction == 0.0
+        assert profile.contested_net_fraction == 0.0
+        assert profile.terminal_weight_fraction == 0.0
+
+    def test_hand_computed(self):
+        # Nets: {0,1} {1,2} {2,3}; vertex 0 fixed in 0, vertex 3 in 1.
+        g = Hypergraph([[0, 1], [1, 2], [2, 3]], num_vertices=4)
+        profile = constraint_profile(g, [0, FREE, FREE, 1])
+        assert profile.fixed_fraction == pytest.approx(0.5)
+        # Nets touching fixed: {0,1} and {2,3} -> 2/3.
+        assert profile.anchored_net_fraction == pytest.approx(2 / 3)
+        # Free vertices 1 and 2 each touch an anchored net.
+        assert profile.anchored_vertex_fraction == pytest.approx(1.0)
+        # No net touches both sides' terminals.
+        assert profile.contested_net_fraction == 0.0
+
+    def test_contested_net(self):
+        g = Hypergraph([[0, 1, 2]], num_vertices=3)
+        profile = constraint_profile(g, [0, 1, FREE])
+        assert profile.contested_net_fraction == pytest.approx(1.0)
+
+    def test_fixture_length_checked(self, triangle):
+        with pytest.raises(ValueError):
+            constraint_profile(triangle, [FREE])
+
+    def test_format(self, triangle):
+        text = constraint_profile(triangle, [0, FREE, FREE]).format_profile()
+        assert "fixed vertices" in text
+
+    def test_more_fixing_more_constraint(self):
+        circ = generate_circuit(CircuitSpec(num_cells=200), seed=81)
+        g = circ.graph
+        rng = random.Random(1)
+        order = list(range(g.num_vertices))
+        rng.shuffle(order)
+        fixture = [FREE] * g.num_vertices
+        previous = -1.0
+        for count in (10, 50, 150):
+            for v in order[:count]:
+                fixture[v] = 0
+            profile = constraint_profile(g, fixture)
+            assert profile.anchored_net_fraction >= previous
+            previous = profile.anchored_net_fraction
+
+
+class TestClusteringInvariance:
+    """The measures the paper asks for: invariant under the Section V
+    terminal-clustering transform (unlike the raw fixed count)."""
+
+    def _both_profiles(self, seed):
+        circ = generate_circuit(CircuitSpec(num_cells=150), seed=seed)
+        g = circ.graph
+        rng = random.Random(seed)
+        fixture = [FREE] * g.num_vertices
+        for v in rng.sample(range(g.num_vertices), 50):
+            fixture[v] = rng.randrange(2)
+        original = constraint_profile(g, fixture)
+        clustered = cluster_terminals(g, fixture)
+        transformed = constraint_profile(
+            clustered.graph, clustered.fixture
+        )
+        return original, transformed
+
+    def test_fixed_fraction_not_invariant(self):
+        original, transformed = self._both_profiles(1)
+        assert transformed.fixed_fraction < original.fixed_fraction
+
+    def test_anchored_vertex_fraction_invariant(self):
+        original, transformed = self._both_profiles(2)
+        assert transformed.anchored_vertex_fraction == pytest.approx(
+            original.anchored_vertex_fraction
+        )
+
+    def test_terminal_weight_fraction_invariant(self):
+        original, transformed = self._both_profiles(3)
+        assert transformed.terminal_weight_fraction == pytest.approx(
+            original.terminal_weight_fraction
+        )

@@ -1,0 +1,82 @@
+"""Unit tests for the Rent's-rule model (Table I)."""
+
+import pytest
+
+from repro.core import (
+    block_size_threshold,
+    expected_terminals,
+    fixed_fraction,
+    format_table_one,
+    table_one,
+)
+
+
+class TestExpectedTerminals:
+    def test_power_law(self):
+        assert expected_terminals(100, 0.5, pins_per_cell=2.0) == (
+            pytest.approx(20.0)
+        )
+
+    def test_monotone_in_block_size(self):
+        assert expected_terminals(200, 0.68) > expected_terminals(100, 0.68)
+
+    def test_monotone_in_exponent(self):
+        assert expected_terminals(1000, 0.75) > expected_terminals(1000, 0.6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_terminals(-1, 0.5)
+        with pytest.raises(ValueError):
+            expected_terminals(10, 1.5)
+        with pytest.raises(ValueError):
+            expected_terminals(10, 0.5, pins_per_cell=0)
+
+
+class TestFixedFraction:
+    def test_decreases_with_block_size(self):
+        fractions = [fixed_fraction(c, 0.68) for c in (10, 100, 1000, 10000)]
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_zero_block(self):
+        assert fixed_fraction(0, 0.68) == 1.0
+
+    def test_range(self):
+        assert 0.0 < fixed_fraction(10_000, 0.68) < 1.0
+
+
+class TestThreshold:
+    def test_closed_form_consistency(self):
+        for p in (0.55, 0.68, 0.75):
+            for f in (0.05, 0.10, 0.20):
+                c = block_size_threshold(f, p)
+                assert fixed_fraction(c, p) == pytest.approx(f, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            block_size_threshold(0.0, 0.68)
+        with pytest.raises(ValueError):
+            block_size_threshold(1.0, 0.68)
+        with pytest.raises(ValueError):
+            block_size_threshold(0.1, 1.0)
+
+
+class TestTableOne:
+    def test_row_structure(self):
+        rows = table_one()
+        assert len(rows) == 6
+        for row in rows:
+            assert len(row.block_sizes) == 3
+
+    def test_paper_magnitudes(self):
+        # At p = 0.68 and k = 3.5 the 20% threshold sits near 3.8k cells
+        # and the 10% threshold near 48k -- "even rather sizable
+        # subblocks can be expected to have a high proportion of fixed
+        # terminals".
+        rows = {r.rent_exponent: r for r in table_one()}
+        assert 3500 <= rows[0.68].block_sizes[2] <= 4200
+        assert 45000 <= rows[0.68].block_sizes[1] <= 52000
+
+    def test_format(self):
+        text = format_table_one(table_one())
+        assert ">=5% fixed" in text
+        assert "p=0.68" in text

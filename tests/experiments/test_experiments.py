@@ -1,0 +1,65 @@
+"""Tests for the experiment harness (circuits registry + Table I +
+lightweight smoke of the heavier experiment entry points)."""
+
+import pytest
+
+from repro.experiments import CIRCUITS, load_circuit, load_instance
+from repro.experiments.table1 import run_table1, shape_checks
+from repro.experiments.reporting import check, emit, ratio
+
+
+class TestCircuitsRegistry:
+    def test_known_names(self):
+        for name in ("ibm01s", "ibm03s", "tiny01", "quick01"):
+            assert name in CIRCUITS
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            load_circuit("ibm99")
+
+    def test_cached_identity(self):
+        a = load_circuit("tiny01")
+        b = load_circuit("tiny01")
+        assert a is b
+
+    def test_sizes_match_definition(self):
+        circ = load_circuit("tiny01")
+        assert circ.num_cells == CIRCUITS["tiny01"].spec.num_cells
+
+    def test_load_instance_balance(self):
+        circ, balance = load_instance("tiny01")
+        total = circ.graph.total_area
+        assert balance.min_loads[0] == pytest.approx(0.49 * total)
+        assert balance.max_loads[0] == pytest.approx(0.51 * total)
+
+    def test_suite_scaling_order(self):
+        sizes = [
+            CIRCUITS[name].spec.num_cells
+            for name in ("ibm01s", "ibm02s", "ibm03s", "ibm04s", "ibm05s")
+        ]
+        assert sizes == sorted(sizes)
+
+
+class TestTable1Experiment:
+    def test_all_shape_checks_pass(self):
+        rows = run_table1()
+        for label, ok in shape_checks(rows):
+            assert ok, label
+
+
+class TestReporting:
+    def test_emit_writes_file(self, tmp_path):
+        emit("hello", name="x", results_dir=tmp_path, quiet=True)
+        assert (tmp_path / "x.txt").read_text() == "hello\n"
+
+    def test_emit_without_name(self, capsys):
+        emit("to stdout only")
+        assert "to stdout only" in capsys.readouterr().out
+
+    def test_ratio(self):
+        assert ratio(4.0, 2.0) == 2.0
+        assert ratio(1.0, 0.0) == float("inf")
+
+    def test_check_format(self):
+        assert check("ok", True).startswith("[PASS]")
+        assert check("bad", False).startswith("[FAIL]")

@@ -1,0 +1,61 @@
+"""Profile-dispatch tests for the experiment entry points."""
+
+import pytest
+
+from repro.experiments.figures import PROFILES, run_figure
+from repro.experiments.multiway import run_multiway
+from repro.experiments.overconstrained import run_overconstrained
+from repro.experiments.suite_solutions import run_suite_solutions
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+
+
+class TestProfileDispatch:
+    def test_figure_profiles_registered(self):
+        assert ("fig1", "full") in PROFILES
+        assert ("fig2", "quick") in PROFILES
+        # Full profiles follow the paper's percent schedule.
+        full = PROFILES[("fig1", "full")]
+        assert len(full.percents) == 12
+        assert full.starts_list == (1, 2, 4, 8)
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(KeyError):
+            run_figure("fig9", "quick")
+        with pytest.raises(KeyError):
+            run_figure("fig1", "medium")
+
+    @pytest.mark.parametrize(
+        "runner",
+        [
+            run_table2,
+            run_table3,
+            run_table4,
+            run_multiway,
+            run_overconstrained,
+            run_suite_solutions,
+        ],
+    )
+    def test_unknown_profile_rejected(self, runner):
+        with pytest.raises(KeyError):
+            runner("warp-speed")
+
+    def test_quick_profiles_use_small_circuits(self):
+        from repro.experiments.multiway import (
+            PROFILE_SETTINGS as multiway_settings,
+        )
+        from repro.experiments.table2 import (
+            PROFILE_SETTINGS as t2_settings,
+        )
+
+        assert all(
+            name.startswith("quick")
+            for name in t2_settings["quick"]["circuits"]
+        )
+        assert multiway_settings["quick"]["circuit"].startswith("quick")
+        # Full profiles target the ibm-scale analogues.
+        assert all(
+            name.startswith("ibm")
+            for name in t2_settings["full"]["circuits"]
+        )

@@ -1,0 +1,142 @@
+"""Unit tests for the executable shape checks (on synthetic studies).
+
+The shape checks encode the paper's claims; these tests pin down what
+each check accepts and rejects using hand-built study objects, so a
+regression in the checks themselves cannot silently pass bad data.
+"""
+
+import pytest
+
+from repro.core.difficulty import DifficultyPoint, DifficultyStudy
+from repro.core.pass_stats import PassStatsRow, PassStatsStudy
+from repro.experiments.figures import shape_checks as figure_checks
+from repro.experiments.table2 import shape_checks as table2_checks
+
+
+def build_difficulty_study(rand_growth=6.0, gaps=(0.2, 0.05), cpu=(0.5, 0.1)):
+    """A two-percent, two-start study with controllable shapes."""
+    study = DifficultyStudy(
+        circuit_name="synthetic",
+        percents=(0.0, 40.0),
+        starts_list=(1, 4),
+        trials=3,
+        good_cut=100,
+    )
+    base = 120.0
+    # Normalization references mirror the real harness: the good
+    # regime shares the good cut; each rand percentage has its own
+    # per-instance best.
+    references = {
+        ("good", 0.0): 100.0,
+        ("good", 40.0): 100.0,
+        ("rand", 0.0): 100.0,
+        ("rand", 40.0): base * rand_growth / 1.1,
+    }
+
+    def add(regime, percent, starts, raw, cpu_s):
+        study.points.append(
+            DifficultyPoint(
+                regime=regime,
+                percent=percent,
+                starts=starts,
+                raw_cut=raw,
+                normalized_cut=raw / references[(regime, percent)],
+                cpu_seconds=cpu_s,
+            )
+        )
+
+    # good regime: norm gap at 0% = gaps[0], at 40% = gaps[1].
+    add("good", 0.0, 1, base, cpu[0])
+    add("good", 0.0, 4, base - 100.0 * gaps[0], cpu[0] * 4)
+    add("good", 40.0, 1, 105.0, cpu[1])
+    add("good", 40.0, 4, 105.0 - 100.0 * gaps[1], cpu[1] * 4)
+    # rand regime: raw grows by rand_growth.
+    ref40 = references[("rand", 40.0)]
+    add("rand", 0.0, 1, base, cpu[0])
+    add("rand", 0.0, 4, base - 100.0 * gaps[0], cpu[0] * 4)
+    add("rand", 40.0, 1, ref40 * (1.0 + gaps[1]), cpu[1])
+    add("rand", 40.0, 4, ref40, cpu[1] * 4)
+    study.best_seen = {
+        key: int(value) for key, value in references.items()
+    }
+    return study
+
+
+class TestFigureChecks:
+    def test_healthy_study_passes(self):
+        study = build_difficulty_study()
+        assert all(ok for _, ok in figure_checks(study))
+
+    def test_flat_rand_growth_fails(self):
+        study = build_difficulty_study(rand_growth=1.2)
+        labels = {
+            label: ok for label, ok in figure_checks(study)
+        }
+        growth = next(
+            ok for label, ok in labels.items() if "raw cut grows" in label
+        )
+        assert not growth
+
+    def test_widening_gap_fails(self):
+        study = build_difficulty_study(gaps=(0.05, 0.5))
+        failing = [
+            label
+            for label, ok in figure_checks(study)
+            if "gap shrinks" in label and not ok
+        ]
+        assert failing
+
+    def test_rising_cpu_fails(self):
+        study = build_difficulty_study(cpu=(0.1, 0.5))
+        failing = [
+            label
+            for label, ok in figure_checks(study)
+            if "CPU decreases" in label and not ok
+        ]
+        assert len(failing) == 2
+
+
+def build_pass_stats(wasted=(80.0, 98.0), prefix=(20.0, 2.0)):
+    study = PassStatsStudy(circuit_name="synthetic", regime="good")
+    for i, percent in enumerate((0.0, 30.0)):
+        study.rows.append(
+            PassStatsRow(
+                percent=percent,
+                runs=10,
+                avg_passes_per_run=5.0 - i,
+                avg_moved_percent=99.0,
+                avg_best_prefix_percent=prefix[i],
+                avg_wasted_percent=wasted[i],
+                avg_final_cut=100.0,
+            )
+        )
+    return study
+
+
+class TestTable2Checks:
+    def test_healthy_passes(self):
+        study = build_pass_stats()
+        assert all(ok for _, ok in table2_checks(study))
+
+    def test_shrinking_waste_fails(self):
+        study = build_pass_stats(wasted=(98.0, 80.0))
+        failing = [
+            label
+            for label, ok in table2_checks(study)
+            if "wasted" in label and not ok
+        ]
+        assert failing
+
+    def test_prefix_moving_late_fails(self):
+        study = build_pass_stats(prefix=(2.0, 20.0))
+        failing = [
+            label
+            for label, ok in table2_checks(study)
+            if "best prefix" in label and not ok
+        ]
+        assert failing
+
+    def test_row_lookup_error(self):
+        study = build_pass_stats()
+        with pytest.raises(KeyError):
+            study.row(77.0)

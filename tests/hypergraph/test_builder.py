@@ -1,0 +1,119 @@
+"""Unit tests for HypergraphBuilder."""
+
+import pytest
+
+from repro.hypergraph import HypergraphBuilder, HypergraphError
+
+
+class TestAddVertex:
+    def test_ids_are_dense(self):
+        b = HypergraphBuilder()
+        assert b.add_vertex("a") == 0
+        assert b.add_vertex("b") == 1
+        assert b.num_vertices == 2
+
+    def test_default_names(self):
+        b = HypergraphBuilder()
+        b.add_vertex()
+        b.add_vertex()
+        g = b.build()
+        assert g.vertex_name(0) == "v0"
+        assert g.vertex_name(1) == "v1"
+
+    def test_duplicate_name_rejected(self):
+        b = HypergraphBuilder()
+        b.add_vertex("x")
+        with pytest.raises(HypergraphError):
+            b.add_vertex("x")
+
+    def test_negative_area_rejected(self):
+        b = HypergraphBuilder()
+        with pytest.raises(HypergraphError):
+            b.add_vertex("x", area=-1.0)
+
+    def test_vertex_lookup(self):
+        b = HypergraphBuilder()
+        b.add_vertex("pad3")
+        assert b.has_vertex("pad3")
+        assert not b.has_vertex("pad4")
+        assert b.vertex_id("pad3") == 0
+
+
+class TestAddNet:
+    def test_basic(self):
+        b = HypergraphBuilder()
+        b.add_vertex("a")
+        b.add_vertex("b")
+        assert b.add_net([0, 1], weight=3, name="clk") == 0
+        g = b.build()
+        assert list(g.net_pins(0)) == [0, 1]
+        assert g.net_weight(0) == 3
+        assert g.net_name(0) == "clk"
+
+    def test_duplicate_pins_deduplicated(self):
+        b = HypergraphBuilder()
+        b.add_vertex("a")
+        b.add_vertex("b")
+        b.add_net([0, 1, 0, 1])
+        g = b.build()
+        assert list(g.net_pins(0)) == [0, 1]
+
+    def test_unknown_pin_rejected(self):
+        b = HypergraphBuilder()
+        b.add_vertex("a")
+        with pytest.raises(HypergraphError):
+            b.add_net([0, 7])
+
+    def test_by_names(self):
+        b = HypergraphBuilder()
+        b.add_vertex("a")
+        b.add_vertex("b")
+        b.add_net_by_names(["a", "b"])
+        g = b.build()
+        assert g.num_nets == 1
+
+    def test_by_names_unknown_rejected(self):
+        b = HypergraphBuilder()
+        b.add_vertex("a")
+        with pytest.raises(HypergraphError):
+            b.add_net_by_names(["a", "mystery"])
+
+    def test_by_names_create_missing(self):
+        b = HypergraphBuilder()
+        b.add_net_by_names(["a", "b", "c"], create_missing=True)
+        assert b.num_vertices == 3
+        g = b.build()
+        assert g.area(0) == 1.0
+
+
+class TestSetArea:
+    def test_late_area_assignment(self):
+        b = HypergraphBuilder()
+        v = b.add_vertex("a")
+        b.set_area(v, 9.5)
+        assert b.build().area(v) == 9.5
+
+    def test_negative_rejected(self):
+        b = HypergraphBuilder()
+        v = b.add_vertex("a")
+        with pytest.raises(HypergraphError):
+            b.set_area(v, -1)
+
+
+class TestBuild:
+    def test_roundtrip_structure(self):
+        b = HypergraphBuilder()
+        for name in "abcd":
+            b.add_vertex(name, area=2.0)
+        b.add_net([0, 1, 2], name="n_a")
+        b.add_net([2, 3], weight=2)
+        g = b.build()
+        assert g.num_vertices == 4
+        assert g.num_nets == 2
+        assert g.total_area == 8.0
+        assert g.net_weight(1) == 2
+
+    def test_empty_build(self):
+        g = HypergraphBuilder().build()
+        assert g.num_vertices == 0
+        assert g.num_nets == 0

@@ -1,0 +1,78 @@
+"""Unit tests for graph expansions."""
+
+import pytest
+
+from repro.hypergraph import Hypergraph
+from repro.hypergraph.expansion import (
+    clique_expansion,
+    connectivity_components,
+    star_expansion,
+)
+
+
+class TestCliqueExpansion:
+    def test_two_pin_net_weight(self):
+        g = Hypergraph([[0, 1]], num_vertices=2, net_weights=[3])
+        cg = clique_expansion(g)
+        assert cg[0][1]["weight"] == pytest.approx(3.0)
+
+    def test_three_pin_net_shares(self):
+        g = Hypergraph([[0, 1, 2]], num_vertices=3, net_weights=[4])
+        cg = clique_expansion(g)
+        for u, v in ((0, 1), (1, 2), (0, 2)):
+            assert cg[u][v]["weight"] == pytest.approx(2.0)  # 4 / (3-1)
+
+    def test_overlapping_nets_accumulate(self):
+        g = Hypergraph([[0, 1], [0, 1, 2]], num_vertices=3)
+        cg = clique_expansion(g)
+        assert cg[0][1]["weight"] == pytest.approx(1.0 + 0.5)
+
+    def test_single_pin_net_ignored(self):
+        g = Hypergraph([[0]], num_vertices=2)
+        cg = clique_expansion(g)
+        assert cg.number_of_edges() == 0
+        assert cg.number_of_nodes() == 2
+
+    def test_cut_lower_bound_property(self, small_hypergraph):
+        # For any bipartition, the clique-expansion cut weight of a net
+        # that is split is >= its weight; so graph cut >= hypergraph cut.
+        from repro.partition import cut_size
+
+        cg = clique_expansion(small_hypergraph)
+        parts = [0, 0, 0, 1, 1, 1]
+        graph_cut = sum(
+            d["weight"]
+            for u, v, d in cg.edges(data=True)
+            if parts[u] != parts[v]
+        )
+        assert graph_cut >= cut_size(small_hypergraph, parts) - 1e-9
+
+
+class TestStarExpansion:
+    def test_hub_per_net(self, small_hypergraph):
+        sg, hubs = star_expansion(small_hypergraph)
+        assert len(hubs) == small_hypergraph.num_nets
+        assert sg.number_of_nodes() == (
+            small_hypergraph.num_vertices + small_hypergraph.num_nets
+        )
+
+    def test_spokes(self):
+        g = Hypergraph([[0, 1, 2]], num_vertices=3, net_weights=[7])
+        sg, hubs = star_expansion(g)
+        hub = hubs[0]
+        assert sorted(sg.neighbors(hub)) == [0, 1, 2]
+        assert sg[hub][0]["weight"] == 7
+
+    def test_small_nets_skipped(self):
+        g = Hypergraph([[0]], num_vertices=1)
+        sg, hubs = star_expansion(g)
+        assert hubs == {}
+
+
+class TestConnectivity:
+    def test_connected(self, triangle):
+        assert connectivity_components(triangle) == 1
+
+    def test_disconnected(self):
+        g = Hypergraph([[0, 1], [2, 3]], num_vertices=5)
+        assert connectivity_components(g) == 3  # {0,1}, {2,3}, {4}

@@ -1,0 +1,242 @@
+"""Unit tests for the bookshelf fixed-terminals format."""
+
+import pytest
+
+from repro.core import PartitioningInstance, bipartition_instance
+from repro.hypergraph import CircuitSpec, Hypergraph, generate_circuit
+from repro.io import BookshelfFormatError, read_bookshelf, write_bookshelf
+from repro.partition import (
+    BalanceConstraint,
+    MultiBalanceConstraint,
+)
+
+
+def make_instance(name="demo", num_cells=60):
+    circ = generate_circuit(CircuitSpec(num_cells=num_cells), seed=5)
+    inst = bipartition_instance(
+        circ.graph,
+        pad_vertices=circ.pad_vertices,
+        name=name,
+    )
+    inst.fix_vertex(0, 0)
+    inst.fix_vertex(3, 1)
+    inst.fix_vertex(7, [0, 1])
+    return inst
+
+
+class TestRoundTrip:
+    def test_structure(self, tmp_path):
+        inst = make_instance()
+        write_bookshelf(inst, tmp_path)
+        back = read_bookshelf(tmp_path, "demo")
+        assert back.graph.structurally_equal(inst.graph)
+        assert back.num_parts == 2
+        assert back.pad_vertices == inst.pad_vertices
+
+    def test_fixture_sets(self, tmp_path):
+        inst = make_instance()
+        write_bookshelf(inst, tmp_path)
+        back = read_bookshelf(tmp_path, "demo")
+        assert back.fixture_sets[0] == frozenset({0})
+        assert back.fixture_sets[3] == frozenset({1})
+        assert back.fixture_sets[7] == frozenset({0, 1})
+        assert back.fixture_sets[1] is None
+        assert back.num_fixed == 3
+        assert back.num_hard_fixed == 2
+
+    def test_relative_balance_roundtrip(self, tmp_path):
+        inst = make_instance()
+        write_bookshelf(inst, tmp_path)
+        back = read_bookshelf(tmp_path, "demo")
+        for a, b in zip(back.balance.min_loads, inst.balance.min_loads):
+            assert a == pytest.approx(b)
+        for a, b in zip(back.balance.max_loads, inst.balance.max_loads):
+            assert a == pytest.approx(b)
+
+    def test_absolute_semantics(self, tmp_path):
+        inst = make_instance()
+        write_bookshelf(inst, tmp_path, relative=False)
+        back = read_bookshelf(tmp_path, "demo")
+        assert back.balance.min_loads[0] == 0.0
+        assert back.balance.max_loads[0] == pytest.approx(
+            inst.balance.max_loads[0]
+        )
+
+    def test_net_weights_roundtrip(self, tmp_path):
+        g = Hypergraph(
+            [[0, 1], [1, 2]], num_vertices=3, net_weights=[4, 1]
+        )
+        inst = bipartition_instance(g, name="wts")
+        write_bookshelf(inst, tmp_path)
+        back = read_bookshelf(tmp_path, "wts")
+        assert list(back.graph.net_weights) == [4, 1]
+
+    def test_multi_resource_roundtrip(self, tmp_path):
+        g = Hypergraph(
+            [[0, 1], [1, 2]],
+            num_vertices=3,
+            areas=[1.0, 2.0, 3.0],
+            extra_resources=[[10.0, 0.0, 5.0]],
+        )
+        area = BalanceConstraint(min_loads=[2.4, 2.4], max_loads=[3.6, 3.6])
+        power = BalanceConstraint(min_loads=[6.0, 6.0], max_loads=[9.0, 9.0])
+        inst = PartitioningInstance(
+            graph=g,
+            num_parts=2,
+            balance=MultiBalanceConstraint(constraints=[area, power]),
+            name="multi",
+        )
+        write_bookshelf(inst, tmp_path)
+        back = read_bookshelf(tmp_path, "multi")
+        assert back.graph.num_resources == 2
+        assert isinstance(back.balance, MultiBalanceConstraint)
+        assert back.balance.num_resources == 2
+        assert back.balance.constraints[1].max_loads[0] == pytest.approx(9.0)
+
+    def test_no_fix_file_when_all_free(self, tmp_path):
+        circ = generate_circuit(CircuitSpec(num_cells=30), seed=1)
+        inst = bipartition_instance(circ.graph, name="free")
+        write_bookshelf(inst, tmp_path)
+        assert not (tmp_path / "free.fix").exists()
+        back = read_bookshelf(tmp_path, "free")
+        assert back.num_fixed == 0
+
+
+class TestErrors:
+    def test_missing_files(self, tmp_path):
+        with pytest.raises(BookshelfFormatError, match="missing"):
+            read_bookshelf(tmp_path, "ghost")
+
+    def _base(self, tmp_path):
+        inst = make_instance()
+        write_bookshelf(inst, tmp_path)
+        return tmp_path
+
+    def test_unknown_node_in_nets(self, tmp_path):
+        d = self._base(tmp_path)
+        nets = d / "demo.nets"
+        nets.write_text(
+            "NumNets : 1\nNumPins : 2\nNetDegree : 2 n0\n ghost\n c1\n"
+        )
+        with pytest.raises(BookshelfFormatError, match="unknown node"):
+            read_bookshelf(d, "demo")
+
+    def test_short_net(self, tmp_path):
+        d = self._base(tmp_path)
+        (d / "demo.nets").write_text(
+            "NumNets : 1\nNumPins : 2\nNetDegree : 3 n0\n c0\n c1\n"
+        )
+        with pytest.raises(BookshelfFormatError, match="short"):
+            read_bookshelf(d, "demo")
+
+    def test_num_nodes_mismatch(self, tmp_path):
+        d = self._base(tmp_path)
+        nodes = d / "demo.nodes"
+        content = nodes.read_text().replace(
+            "NumNodes : ", "NumNodes : 9"
+        )
+        nodes.write_text(content)
+        with pytest.raises(BookshelfFormatError, match="NumNodes"):
+            read_bookshelf(d, "demo")
+
+    def test_bad_fix_node(self, tmp_path):
+        d = self._base(tmp_path)
+        (d / "demo.fix").write_text("ghost 0\n")
+        with pytest.raises(BookshelfFormatError, match="unknown node"):
+            read_bookshelf(d, "demo")
+
+    def test_bad_fix_pid(self, tmp_path):
+        d = self._base(tmp_path)
+        (d / "demo.fix").write_text("c0 zero\n")
+        with pytest.raises(BookshelfFormatError, match="partition id"):
+            read_bookshelf(d, "demo")
+
+    def test_missing_partition_row(self, tmp_path):
+        d = self._base(tmp_path)
+        (d / "demo.blk").write_text(
+            "NumPartitions : 2\nNumResources : 1\nSemantics : relative\n"
+            "0 capacity 50 tolerance 2\n"
+        )
+        with pytest.raises(BookshelfFormatError, match="one line per"):
+            read_bookshelf(d, "demo")
+
+    def test_bad_semantics(self, tmp_path):
+        d = self._base(tmp_path)
+        blk = d / "demo.blk"
+        blk.write_text(blk.read_text().replace("relative", "sideways"))
+        with pytest.raises(BookshelfFormatError, match="semantics"):
+            read_bookshelf(d, "demo")
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        d = self._base(tmp_path)
+        fix = d / "demo.fix"
+        fix.write_text("# comment\n\nc0 1\n")
+        back = read_bookshelf(d, "demo")
+        assert back.fixture_sets[0] == frozenset({1})
+
+
+class TestInstanceModel:
+    def test_hard_fixture_reduction(self):
+        inst = make_instance()
+        fixture = inst.hard_fixture()
+        assert fixture[0] == 0
+        assert fixture[3] == 1
+        assert fixture[7] == -1  # OR set relaxed to free
+        assert fixture[1] == -1
+
+    def test_is_assignment_legal(self):
+        inst = make_instance()
+        n = inst.graph.num_vertices
+        parts = [0] * n
+        parts[3] = 1
+        assert inst.is_assignment_legal(parts)
+        parts[0] = 1
+        assert not inst.is_assignment_legal(parts)
+
+    def test_or_semantics(self):
+        inst = make_instance()
+        n = inst.graph.num_vertices
+        for side in (0, 1):
+            parts = [0] * n
+            parts[3] = 1
+            parts[7] = side
+            assert inst.is_assignment_legal(parts)
+
+    def test_fix_and_free(self):
+        inst = make_instance()
+        inst.fix_vertex(10, 1)
+        assert inst.fixture_sets[10] == frozenset({1})
+        inst.free_vertex(10)
+        assert inst.fixture_sets[10] is None
+
+    def test_invalid_fix_rejected(self):
+        inst = make_instance()
+        with pytest.raises(ValueError):
+            inst.fix_vertex(0, 5)
+        with pytest.raises(ValueError):
+            inst.fix_vertex(0, [])
+
+    def test_fixed_fraction(self):
+        inst = make_instance()
+        assert inst.fixed_fraction == pytest.approx(
+            3 / inst.graph.num_vertices
+        )
+
+    def test_balance_parts_mismatch_rejected(self):
+        g = Hypergraph([[0, 1]], num_vertices=2)
+        bad = BalanceConstraint(min_loads=[0], max_loads=[2])
+        with pytest.raises(ValueError):
+            PartitioningInstance(
+                graph=g, num_parts=2, balance=bad, name="bad"
+            )
+
+    def test_empty_fixture_set_rejected(self):
+        g = Hypergraph([[0, 1]], num_vertices=2)
+        balance = BalanceConstraint(min_loads=[0, 0], max_loads=[2, 2])
+        with pytest.raises(ValueError):
+            PartitioningInstance(
+                graph=g,
+                num_parts=2,
+                balance=balance,
+                fixture_sets=[frozenset(), None],
+            )

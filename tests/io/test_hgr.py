@@ -1,0 +1,182 @@
+"""Unit and property tests for the hMetis .hgr format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph import CircuitSpec, Hypergraph, generate_circuit
+from repro.io import (
+    HgrFormatError,
+    read_fix_file,
+    read_hgr,
+    write_fix_file,
+    write_hgr,
+)
+from repro.partition import FREE
+
+
+class TestRoundTrip:
+    def test_unweighted(self, tmp_path):
+        g = Hypergraph([[0, 1], [1, 2, 3]], num_vertices=4)
+        p = tmp_path / "a.hgr"
+        write_hgr(g, p)
+        assert p.read_text().splitlines()[0] == "2 4"
+        assert read_hgr(p).structurally_equal(g)
+
+    def test_net_weights(self, tmp_path):
+        g = Hypergraph(
+            [[0, 1], [1, 2]], num_vertices=3, net_weights=[5, 1]
+        )
+        p = tmp_path / "b.hgr"
+        write_hgr(g, p)
+        assert p.read_text().splitlines()[0] == "2 3 1"
+        assert read_hgr(p).structurally_equal(g)
+
+    def test_vertex_weights(self, tmp_path):
+        g = Hypergraph(
+            [[0, 1]], num_vertices=2, areas=[3.0, 7.0]
+        )
+        p = tmp_path / "c.hgr"
+        write_hgr(g, p)
+        assert p.read_text().splitlines()[0] == "1 2 10"
+        assert read_hgr(p).structurally_equal(g)
+
+    def test_both_weights(self, tmp_path):
+        g = Hypergraph(
+            [[0, 1], [0, 2]],
+            num_vertices=3,
+            areas=[2.0, 1.0, 4.0],
+            net_weights=[3, 1],
+        )
+        p = tmp_path / "d.hgr"
+        write_hgr(g, p)
+        assert p.read_text().splitlines()[0] == "2 3 11"
+        assert read_hgr(p).structurally_equal(g)
+
+    def test_circuit_roundtrip(self, tmp_path):
+        circ = generate_circuit(CircuitSpec(num_cells=120), seed=4)
+        p = tmp_path / "e.hgr"
+        write_hgr(circ.graph, p)
+        back = read_hgr(p)
+        assert back.num_vertices == circ.graph.num_vertices
+        assert back.num_nets == circ.graph.num_nets
+        assert back.num_pins == circ.graph.num_pins
+
+    def test_empty_net_rejected(self, tmp_path):
+        g = Hypergraph([[]], num_vertices=1)
+        with pytest.raises(HgrFormatError):
+            write_hgr(g, tmp_path / "f.hgr")
+
+
+class TestReadErrors:
+    def _read(self, tmp_path, text):
+        p = tmp_path / "bad.hgr"
+        p.write_text(text)
+        return read_hgr(p)
+
+    def test_empty_file(self, tmp_path):
+        with pytest.raises(HgrFormatError, match="empty"):
+            self._read(tmp_path, "")
+
+    def test_bad_header(self, tmp_path):
+        with pytest.raises(HgrFormatError, match="header"):
+            self._read(tmp_path, "5\n")
+
+    def test_unsupported_fmt(self, tmp_path):
+        with pytest.raises(HgrFormatError, match="fmt"):
+            self._read(tmp_path, "1 2 7\n1 2\n")
+
+    def test_line_count_mismatch(self, tmp_path):
+        with pytest.raises(HgrFormatError, match="lines"):
+            self._read(tmp_path, "2 3\n1 2\n")
+
+    def test_pin_out_of_range(self, tmp_path):
+        with pytest.raises(HgrFormatError, match="outside"):
+            self._read(tmp_path, "1 2\n1 3\n")
+
+    def test_comments_ignored(self, tmp_path):
+        g = self._read(tmp_path, "% header comment\n1 2\n1 2 % trailing\n")
+        assert g.num_nets == 1
+        assert list(g.net_pins(0)) == [0, 1]
+
+    def test_weighted_net_without_pins(self, tmp_path):
+        with pytest.raises(HgrFormatError, match="pins"):
+            self._read(tmp_path, "1 2 1\n5\n")
+
+
+class TestFixFile:
+    def test_roundtrip(self, tmp_path):
+        fixture = [FREE, 0, 1, FREE]
+        p = tmp_path / "x.fix"
+        write_fix_file(fixture, p)
+        assert read_fix_file(p, num_vertices=4) == fixture
+
+    def test_length_check(self, tmp_path):
+        p = tmp_path / "y.fix"
+        write_fix_file([0, 1], p)
+        with pytest.raises(HgrFormatError, match="lines"):
+            read_fix_file(p, num_vertices=3)
+
+    def test_bad_value(self, tmp_path):
+        p = tmp_path / "z.fix"
+        p.write_text("0\n-5\n")
+        with pytest.raises(HgrFormatError, match=">= -1"):
+            read_fix_file(p)
+
+    def test_non_integer(self, tmp_path):
+        p = tmp_path / "w.fix"
+        p.write_text("zero\n")
+        with pytest.raises(HgrFormatError, match="bad fix"):
+            read_fix_file(p)
+
+
+@st.composite
+def integer_hypergraphs(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    num_nets = draw(st.integers(min_value=1, max_value=15))
+    nets = []
+    for _ in range(num_nets):
+        size = draw(st.integers(min_value=1, max_value=min(4, n)))
+        nets.append(
+            draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=n - 1),
+                    min_size=size,
+                    max_size=size,
+                    unique=True,
+                )
+            )
+        )
+    areas = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=20),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    weights = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=9),
+            min_size=num_nets,
+            max_size=num_nets,
+        )
+    )
+    return Hypergraph(
+        nets,
+        num_vertices=n,
+        areas=[float(a) for a in areas],
+        net_weights=weights,
+    )
+
+
+@given(integer_hypergraphs())
+@settings(max_examples=60, deadline=None)
+def test_hgr_roundtrip_property(g):
+    # hypothesis and pytest tmp_path don't mix; use a manual tmp dir.
+    import tempfile
+    from pathlib import Path
+
+    with tempfile.TemporaryDirectory() as d:
+        path = Path(d) / "g.hgr"
+        write_hgr(g, path)
+        assert read_hgr(path).structurally_equal(g)

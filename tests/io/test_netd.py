@@ -1,0 +1,114 @@
+"""Unit tests for the .net/.are reader and writer."""
+
+import pytest
+
+from repro.hypergraph import CircuitSpec, Hypergraph, generate_circuit
+from repro.io import NetDFormatError, read_netd, write_netd
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, tmp_path):
+        circ = generate_circuit(CircuitSpec(num_cells=80), seed=9)
+        net = tmp_path / "c.net"
+        are = tmp_path / "c.are"
+        write_netd(circ.graph, net, are, pad_vertices=circ.pad_vertices)
+        g2, pads = read_netd(net, are)
+        assert g2.num_vertices == circ.graph.num_vertices
+        assert g2.num_nets == circ.graph.num_nets
+        assert g2.num_pins == circ.graph.num_pins
+        assert len(pads) == len(circ.pad_vertices)
+        assert sorted(g2.areas) == sorted(circ.graph.areas)
+
+    def test_net_sizes_preserved(self, tmp_path):
+        g = Hypergraph([[0, 1, 2], [2, 3], [0, 3]], num_vertices=4)
+        net = tmp_path / "x.net"
+        write_netd(g, net)
+        g2, _ = read_netd(net)
+        assert sorted(g2.net_size(e) for e in range(3)) == [2, 2, 3]
+
+    def test_without_are_file(self, tmp_path):
+        g = Hypergraph([[0, 1]], num_vertices=2)
+        net = tmp_path / "x.net"
+        write_netd(g, net)
+        g2, pads = read_netd(net)
+        assert g2.area(0) == 1.0
+        assert pads == []
+
+    def test_pads_get_zero_default_area(self, tmp_path):
+        g = Hypergraph([[0, 1]], num_vertices=2)
+        net = tmp_path / "x.net"
+        write_netd(g, net, pad_vertices=[1])
+        g2, pads = read_netd(net)
+        assert len(pads) == 1
+        assert g2.area(pads[0]) == 0.0
+
+    def test_isolated_module_with_area(self, tmp_path):
+        g = Hypergraph([[0, 1]], num_vertices=3, areas=[1.0, 1.0, 7.0])
+        net = tmp_path / "x.net"
+        are = tmp_path / "x.are"
+        write_netd(g, net, are)
+        g2, _ = read_netd(net, are)
+        assert g2.num_vertices == 3
+        assert sorted(g2.areas) == [1.0, 1.0, 7.0]
+
+
+class TestHeaderValidation:
+    def _write(self, tmp_path, text):
+        p = tmp_path / "bad.net"
+        p.write_text(text)
+        return p
+
+    def test_truncated_header(self, tmp_path):
+        p = self._write(tmp_path, "0\n2\n1\n")
+        with pytest.raises(NetDFormatError, match="truncated"):
+            read_netd(p)
+
+    def test_bad_magic(self, tmp_path):
+        p = self._write(tmp_path, "9\n2\n1\n2\n2\na0 s\na1 l\n")
+        with pytest.raises(NetDFormatError, match="magic"):
+            read_netd(p)
+
+    def test_wrong_net_count(self, tmp_path):
+        p = self._write(tmp_path, "0\n2\n5\n2\n2\na0 s\na1 l\n")
+        with pytest.raises(NetDFormatError, match="nets"):
+            read_netd(p)
+
+    def test_wrong_pin_count(self, tmp_path):
+        p = self._write(tmp_path, "0\n9\n1\n2\n2\na0 s\na1 l\n")
+        with pytest.raises(NetDFormatError, match="pins"):
+            read_netd(p)
+
+    def test_bad_pad_offset(self, tmp_path):
+        p = self._write(tmp_path, "0\n2\n1\n2\n5\na0 s\na1 l\n")
+        with pytest.raises(NetDFormatError, match="pad offset"):
+            read_netd(p)
+
+    def test_first_line_must_start_net(self, tmp_path):
+        p = self._write(tmp_path, "0\n2\n1\n2\n2\na0 l\na1 l\n")
+        with pytest.raises(NetDFormatError, match="first pin"):
+            read_netd(p)
+
+    def test_bad_pin_marker(self, tmp_path):
+        p = self._write(tmp_path, "0\n2\n1\n2\n2\na0 s\na1 x\n")
+        with pytest.raises(NetDFormatError, match="pin line"):
+            read_netd(p)
+
+    def test_bad_are_line(self, tmp_path):
+        net = self._write(tmp_path, "0\n2\n1\n2\n2\na0 s\na1 l\n")
+        are = tmp_path / "bad.are"
+        are.write_text("a0\n")
+        with pytest.raises(NetDFormatError, match=".are"):
+            read_netd(net, are)
+
+    def test_bad_are_value(self, tmp_path):
+        net = self._write(tmp_path, "0\n2\n1\n2\n2\na0 s\na1 l\n")
+        are = tmp_path / "bad.are"
+        are.write_text("a0 plenty\n")
+        with pytest.raises(NetDFormatError, match="area"):
+            read_netd(net, are)
+
+    def test_module_count_mismatch(self, tmp_path):
+        # Declares 1 module but references 2.
+        p = self._write(tmp_path, "0\n2\n1\n1\n1\na0 s\na1 l\n")
+        with pytest.raises(NetDFormatError, match="modules"):
+            read_netd(p)

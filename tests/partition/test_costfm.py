@@ -1,0 +1,233 @@
+"""Unit tests for the generalized-cost FM engine and cost models."""
+
+import random
+
+import pytest
+
+from repro.hypergraph import CircuitSpec, Hypergraph, generate_circuit
+from repro.partition import (
+    FREE,
+    CostFMBipartitioner,
+    CostFMConfig,
+    FMBipartitioner,
+    NetCostModel,
+    cut_size,
+    min_cut_cost_model,
+    random_balanced_bipartition,
+    relative_bipartition_balance,
+    total_cost,
+)
+
+
+class TestNetCostModel:
+    def test_state_cost(self):
+        model = NetCostModel(cost0=[2], cost1=[5], cost_cut=[9])
+        assert model.state_cost(0, 3, 0) == 2
+        assert model.state_cost(0, 0, 3) == 5
+        assert model.state_cost(0, 1, 2) == 9
+        assert model.state_cost(0, 0, 0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetCostModel(cost0=[1], cost1=[1, 2], cost_cut=[1])
+        with pytest.raises(ValueError):
+            NetCostModel(cost0=[-1], cost1=[0], cost_cut=[0])
+        with pytest.raises(ValueError):
+            NetCostModel(cost0=[0.5], cost1=[0], cost_cut=[0])
+
+    def test_min_cut_model_matches_cut_size(self, small_hypergraph):
+        model = min_cut_cost_model(small_hypergraph)
+        parts = [0, 1, 0, 1, 0, 1]
+        assert total_cost(small_hypergraph, model, parts) == cut_size(
+            small_hypergraph, parts
+        )
+
+
+class TestCostFM:
+    def _instance(self, seed=1):
+        circ = generate_circuit(CircuitSpec(num_cells=150), seed=seed)
+        g = circ.graph
+        balance = relative_bipartition_balance(g.total_area, 0.05)
+        return g, balance
+
+    def test_min_cut_model_behaves_like_fm(self):
+        g, balance = self._instance(2)
+        model = min_cut_cost_model(g)
+        init = random_balanced_bipartition(
+            g, balance, rng=random.Random(3)
+        )
+        generic = CostFMBipartitioner(g, balance, model).run(list(init))
+        classic = FMBipartitioner(g, balance).run(list(init))
+        assert generic.cost == cut_size(g, generic.parts)
+        # Same objective, same neighborhood structure: comparable cuts.
+        assert generic.cost <= classic.solution.cut * 1.5 + 5
+        assert classic.solution.cut <= generic.cost * 1.5 + 5
+
+    def test_reported_cost_exact(self):
+        g, balance = self._instance(4)
+        rng = random.Random(5)
+        model = NetCostModel(
+            cost0=[rng.randint(0, 5) for _ in range(g.num_nets)],
+            cost1=[rng.randint(0, 5) for _ in range(g.num_nets)],
+            cost_cut=[rng.randint(0, 9) for _ in range(g.num_nets)],
+        )
+        init = random_balanced_bipartition(g, balance, rng=rng)
+        result = CostFMBipartitioner(g, balance, model).run(list(init))
+        assert result.cost == total_cost(g, model, result.parts)
+        assert result.cost <= result.initial_cost
+
+    def test_asymmetric_costs_bias_sides(self):
+        # A single free vertex on a net whose all-on-side-1 state is
+        # cheap must end on side 1.
+        from repro.partition import BalanceConstraint
+
+        g = Hypergraph([[0, 1]], num_vertices=2, areas=[1.0, 1.0])
+        model = NetCostModel(cost0=[10], cost1=[0], cost_cut=[5])
+        balance = BalanceConstraint(
+            min_loads=[0.0, 0.0], max_loads=[2.0, 2.0]
+        )
+        engine = CostFMBipartitioner(
+            g, balance, model, fixture=[FREE, 1]
+        )
+        result = engine.run([0, 1])
+        assert result.parts == [1, 1]
+        assert result.cost == 0
+
+    def test_fixture_respected(self):
+        g, balance = self._instance(6)
+        rng = random.Random(7)
+        fixture = [FREE] * g.num_vertices
+        pinned = rng.sample(range(g.num_vertices), 25)
+        for v in pinned:
+            fixture[v] = rng.randrange(2)
+        model = min_cut_cost_model(g)
+        init = random_balanced_bipartition(
+            g, balance, fixture=fixture, rng=rng
+        )
+        result = CostFMBipartitioner(
+            g, balance, model, fixture=fixture
+        ).run(init)
+        for v in pinned:
+            assert result.parts[v] == fixture[v]
+
+    def test_pass_cutoff(self):
+        g, balance = self._instance(8)
+        model = min_cut_cost_model(g)
+        init = random_balanced_bipartition(
+            g, balance, rng=random.Random(9)
+        )
+        full = CostFMBipartitioner(g, balance, model).run(list(init))
+        tight = CostFMBipartitioner(
+            g,
+            balance,
+            model,
+            config=CostFMConfig(pass_move_limit_fraction=0.1),
+        ).run(list(init))
+        assert tight.total_moves <= full.total_moves
+
+    def test_validation(self):
+        g, balance = self._instance(10)
+        short_model = NetCostModel(cost0=[0], cost1=[0], cost_cut=[1])
+        with pytest.raises(ValueError):
+            CostFMBipartitioner(g, balance, short_model)
+        model = min_cut_cost_model(g)
+        engine = CostFMBipartitioner(g, balance, model)
+        with pytest.raises(ValueError):
+            engine.run([0])
+        with pytest.raises(ValueError):
+            CostFMConfig(max_passes=0)
+
+
+class TestWirelengthModel:
+    @pytest.fixture(scope="class")
+    def derived(self):
+        from repro.placement import (
+            build_suite,
+            place_circuit,
+            terminal_positions_from_placement,
+            wirelength_cost_model,
+        )
+
+        circ = generate_circuit(
+            CircuitSpec(num_cells=220, name="w220"), seed=33
+        )
+        placement = place_circuit(circ, seed=2)
+        suite = build_suite(circ, "w220", placement=placement)
+        entry = suite.entries[2]
+        original_ids = {
+            placement.graph.vertex_name(v): v
+            for v in range(placement.graph.num_vertices)
+        }
+        positions = terminal_positions_from_placement(
+            entry.instance, placement.positions, original_ids
+        )
+        from repro.placement import midline
+
+        model = wirelength_cost_model(
+            entry.instance,
+            entry.block,
+            positions,
+            cutline=midline(entry.block, entry.cut_axis),
+            scale=0.1,
+        )
+        return entry, model, positions
+
+    def test_model_covers_all_nets(self, derived):
+        entry, model, _ = derived
+        assert model.num_nets == entry.instance.graph.num_nets
+
+    def test_cut_state_never_cheaper_than_best_side(self, derived):
+        # The cut bbox contains both side points, so it dominates both
+        # single-side bboxes.
+        _, model, _ = derived
+        for e in range(model.num_nets):
+            assert model.cost_cut[e] >= min(
+                model.cost0[e], model.cost1[e]
+            )
+
+    def test_terminal_pull(self, derived):
+        # For nets with terminals on exactly one side of the cut, the
+        # preferred side is usually the terminal side.
+        entry, model, positions = derived
+        inst = entry.instance
+        cut_axis_positions = {
+            t: positions[t] for t in inst.pad_vertices
+        }
+        del cut_axis_positions
+        preferred_matches = 0
+        considered = 0
+        for e in range(model.num_nets):
+            pins = inst.graph.net_pins(e)
+            sides = {
+                next(iter(inst.fixture_sets[v]))
+                for v in pins
+                if inst.fixture_sets[v] is not None
+            }
+            if len(sides) != 1:
+                continue
+            considered += 1
+            side = next(iter(sides))
+            cheaper = 0 if model.cost0[e] < model.cost1[e] else 1
+            if model.cost0[e] != model.cost1[e] and cheaper == side:
+                preferred_matches += 1
+        assert considered > 0
+        assert preferred_matches > 0.6 * considered
+
+    def test_optimizing_wl_beats_min_cut_on_wl(self, derived):
+        entry, model, _ = derived
+        inst = entry.instance
+        g = inst.graph
+        fixture = inst.hard_fixture()
+        init = random_balanced_bipartition(
+            g, inst.balance, fixture=fixture, rng=random.Random(4)
+        )
+        wl_engine = CostFMBipartitioner(
+            g, inst.balance, model, fixture=fixture
+        )
+        wl_result = wl_engine.run(list(init))
+        mc_result = FMBipartitioner(
+            g, inst.balance, fixture=fixture
+        ).run(list(init))
+        assert wl_result.cost <= total_cost(
+            g, model, mc_result.solution.parts
+        )

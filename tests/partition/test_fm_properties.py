@@ -1,0 +1,163 @@
+"""Property-based tests for the FM engine."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph import Hypergraph
+from repro.partition import (
+    FREE,
+    FMBipartitioner,
+    FMConfig,
+    block_loads,
+    cut_size,
+    random_balanced_bipartition,
+    relative_bipartition_balance,
+    respect_fixture,
+)
+
+
+@st.composite
+def fm_instances(draw):
+    """Small random (graph, fixture) instances for FM."""
+    n = draw(st.integers(min_value=2, max_value=14))
+    num_nets = draw(st.integers(min_value=1, max_value=24))
+    nets = []
+    for _ in range(num_nets):
+        size = draw(st.integers(min_value=2, max_value=min(4, n)))
+        pins = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        nets.append(pins)
+    weights = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=5),
+            min_size=num_nets,
+            max_size=num_nets,
+        )
+    )
+    areas = draw(
+        st.lists(
+            st.sampled_from([0.0, 1.0, 2.0, 3.0]),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    if sum(areas) == 0:
+        areas[0] = 1.0
+    fixture = draw(
+        st.lists(
+            st.sampled_from([FREE, FREE, FREE, 0, 1]),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    if all(f != FREE for f in fixture):
+        fixture[0] = FREE
+    policy = draw(st.sampled_from(["lifo", "fifo", "clip"]))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    graph = Hypergraph(nets, num_vertices=n, areas=areas, net_weights=weights)
+    return graph, fixture, policy, seed
+
+
+@given(fm_instances())
+@settings(max_examples=120, deadline=None)
+def test_fm_core_invariants(instance):
+    """Cut exactness, fixture respect, monotone improvement, records."""
+    graph, fixture, policy, seed = instance
+    balance = relative_bipartition_balance(graph.total_area, 0.3)
+    engine = FMBipartitioner(
+        graph, balance, fixture=fixture, config=FMConfig(policy=policy)
+    )
+    rng = random.Random(seed)
+    init = random_balanced_bipartition(
+        graph, balance, fixture=fixture, rng=rng
+    )
+    result = engine.run(init)
+
+    # 1. The reported cut is the true cut.
+    assert result.solution.verify_cut(graph)
+    # 2. Fixed vertices stayed put.
+    assert respect_fixture(result.solution.parts, fixture)
+    # 3. FM never returns worse than its start.
+    assert result.solution.cut <= result.initial_cut
+    # 4. Pass records are internally consistent and non-increasing.
+    cuts = [p.cut_before for p in result.passes] + (
+        [result.passes[-1].cut_after] if result.passes else []
+    )
+    assert cuts == sorted(cuts, reverse=True)
+    for p in result.passes:
+        assert 0 <= p.best_prefix <= p.moves_made <= p.movable
+
+
+@given(fm_instances())
+@settings(max_examples=60, deadline=None)
+def test_fm_feasibility_when_start_feasible(instance):
+    """A feasible start never degrades to an infeasible result."""
+    graph, fixture, policy, seed = instance
+    balance = relative_bipartition_balance(graph.total_area, 0.5)
+    engine = FMBipartitioner(
+        graph, balance, fixture=fixture, config=FMConfig(policy=policy)
+    )
+    init = random_balanced_bipartition(
+        graph, balance, fixture=fixture, rng=random.Random(seed)
+    )
+    loads0 = [0.0, 0.0]
+    for v in range(graph.num_vertices):
+        side = fixture[v] if fixture[v] != FREE else init[v]
+        loads0[side] += graph.area(v)
+    result = engine.run(init)
+    if balance.is_feasible(loads0):
+        loads1 = block_loads(graph, result.solution.parts, 2)
+        assert balance.is_feasible(loads1)
+
+
+@given(fm_instances(), st.floats(min_value=0.05, max_value=0.5))
+@settings(max_examples=60, deadline=None)
+def test_cutoff_never_exceeds_uncut_moves(instance, fraction):
+    """Pass cutoffs only remove moves, never add them, and preserve all
+    core invariants."""
+    graph, fixture, policy, seed = instance
+    balance = relative_bipartition_balance(graph.total_area, 0.3)
+    init = random_balanced_bipartition(
+        graph, balance, fixture=fixture, rng=random.Random(seed)
+    )
+    full = FMBipartitioner(
+        graph, balance, fixture=fixture, config=FMConfig(policy=policy)
+    ).run(list(init))
+    limited = FMBipartitioner(
+        graph,
+        balance,
+        fixture=fixture,
+        config=FMConfig(policy=policy, pass_move_limit_fraction=fraction),
+    ).run(list(init))
+    assert limited.solution.verify_cut(graph)
+    assert limited.solution.cut <= limited.initial_cut
+    movable = sum(1 for f in fixture if f == FREE)
+    limit = max(1, int(fraction * movable))
+    for record in limited.passes[1:]:
+        assert record.moves_made <= limit
+
+
+@given(fm_instances())
+@settings(max_examples=40, deadline=None)
+def test_fm_idempotent_on_own_output(instance):
+    """Re-running FM on its own output cannot improve by more than a
+    pass-tie artifact (i.e. result is pass-stable)."""
+    graph, fixture, policy, seed = instance
+    balance = relative_bipartition_balance(graph.total_area, 0.3)
+    engine = FMBipartitioner(
+        graph, balance, fixture=fixture, config=FMConfig(policy=policy)
+    )
+    init = random_balanced_bipartition(
+        graph, balance, fixture=fixture, rng=random.Random(seed)
+    )
+    first = engine.run(init)
+    second = engine.run(list(first.solution.parts))
+    assert second.solution.cut <= first.solution.cut

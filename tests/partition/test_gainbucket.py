@@ -1,0 +1,220 @@
+"""Unit and model-based tests for the FM gain bucket."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.partition import GainBucket
+
+
+class TestBasics:
+    def test_empty(self):
+        b = GainBucket(4, 3)
+        assert len(b) == 0
+        assert b.max_key() is None
+        assert b.peek_max() is None
+        assert b.pop_max() is None
+
+    def test_insert_and_pop(self):
+        b = GainBucket(4, 3)
+        b.insert(0, 2)
+        b.insert(1, -1)
+        b.insert(2, 3)
+        assert len(b) == 3
+        assert b.max_key() == 3
+        assert b.pop_max() == 2
+        assert b.pop_max() == 0
+        assert b.pop_max() == 1
+        assert b.pop_max() is None
+
+    def test_lifo_within_bucket(self):
+        b = GainBucket(4, 2)
+        b.insert(0, 1)
+        b.insert(1, 1)
+        b.insert(2, 1)
+        assert b.pop_max() == 2  # most recently inserted first
+        assert b.pop_max() == 1
+
+    def test_fifo_within_bucket(self):
+        b = GainBucket(4, 2)
+        b.insert(0, 1)
+        b.insert(1, 1)
+        b.insert(2, 1)
+        assert b.pop_max(fifo=True) == 0  # oldest first
+        assert b.pop_max(fifo=True) == 1
+
+    def test_contains_and_key(self):
+        b = GainBucket(3, 5)
+        b.insert(1, -4)
+        assert 1 in b
+        assert 0 not in b
+        assert b.key_of(1) == -4
+
+    def test_remove_middle_of_chain(self):
+        b = GainBucket(5, 2)
+        for v in range(4):
+            b.insert(v, 0)
+        b.remove(2)
+        assert list(b.iter_bucket(0)) == [3, 1, 0]
+
+    def test_update_moves_bucket(self):
+        b = GainBucket(3, 5)
+        b.insert(0, 1)
+        b.update(0, -2)
+        assert b.key_of(0) == -2
+        assert b.max_key() == -2
+
+    def test_adjust(self):
+        b = GainBucket(3, 5)
+        b.insert(0, 1)
+        b.adjust(0, 3)
+        assert b.key_of(0) == 4
+
+    def test_max_pointer_decays(self):
+        b = GainBucket(3, 5)
+        b.insert(0, 5)
+        b.insert(1, -5)
+        b.remove(0)
+        assert b.max_key() == -5
+
+    def test_double_insert_rejected(self):
+        b = GainBucket(2, 1)
+        b.insert(0, 0)
+        with pytest.raises(ValueError):
+            b.insert(0, 1)
+
+    def test_remove_absent_rejected(self):
+        b = GainBucket(2, 1)
+        with pytest.raises(ValueError):
+            b.remove(0)
+
+    def test_key_out_of_range_rejected(self):
+        b = GainBucket(2, 3)
+        with pytest.raises(ValueError):
+            b.insert(0, 4)
+        with pytest.raises(ValueError):
+            b.insert(0, -4)
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            GainBucket(2, -1)
+
+    def test_zero_limit(self):
+        b = GainBucket(2, 0)
+        b.insert(0, 0)
+        assert b.pop_max() == 0
+
+    def test_iter_descending(self):
+        b = GainBucket(6, 3)
+        b.insert(0, 1)
+        b.insert(1, 3)
+        b.insert(2, 1)
+        b.insert(3, -2)
+        assert list(b.iter_descending()) == [1, 2, 0, 3]
+
+    def test_iter_descending_fifo(self):
+        b = GainBucket(6, 3)
+        b.insert(0, 1)
+        b.insert(2, 1)
+        assert list(b.iter_descending(fifo=True)) == [0, 2]
+
+    def test_clear(self):
+        b = GainBucket(4, 2)
+        b.insert(0, 1)
+        b.insert(1, 2)
+        b.clear()
+        assert len(b) == 0
+        assert b.max_key() is None
+        b.insert(0, -2)
+        assert b.pop_max() == 0
+
+
+class BucketModel(RuleBasedStateMachine):
+    """Compare GainBucket against a dict model."""
+
+    LIMIT = 8
+    N = 12
+
+    def __init__(self):
+        super().__init__()
+        self.bucket = GainBucket(self.N, self.LIMIT)
+        self.model = {}
+
+    @rule(v=st.integers(0, N - 1), k=st.integers(-LIMIT, LIMIT))
+    def insert(self, v, k):
+        if v in self.model:
+            with pytest.raises(ValueError):
+                self.bucket.insert(v, k)
+        else:
+            self.bucket.insert(v, k)
+            self.model[v] = k
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def remove(self, data):
+        v = data.draw(st.sampled_from(sorted(self.model)))
+        self.bucket.remove(v)
+        del self.model[v]
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data(), k=st.integers(-LIMIT, LIMIT))
+    def update(self, data, k):
+        v = data.draw(st.sampled_from(sorted(self.model)))
+        self.bucket.update(v, k)
+        self.model[v] = k
+
+    @precondition(lambda self: self.model)
+    @rule()
+    def pop(self):
+        v = self.bucket.pop_max()
+        assert self.model[v] == max(self.model.values())
+        del self.model[v]
+
+    @invariant()
+    def sizes_match(self):
+        assert len(self.bucket) == len(self.model)
+
+    @invariant()
+    def max_matches(self):
+        expected = max(self.model.values()) if self.model else None
+        assert self.bucket.max_key() == expected
+
+    @invariant()
+    def keys_match(self):
+        for v, k in self.model.items():
+            assert v in self.bucket
+            assert self.bucket.key_of(v) == k
+
+
+TestBucketModel = BucketModel.TestCase
+TestBucketModel.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 19), st.integers(-6, 6)),
+        max_size=20,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_drain_returns_descending_keys(pairs):
+    """Popping everything yields non-increasing keys."""
+    b = GainBucket(20, 6)
+    seen = set()
+    for v, k in pairs:
+        if v not in seen:
+            b.insert(v, k)
+            seen.add(v)
+    keys = []
+    while len(b):
+        keys.append(b.max_key())
+        b.pop_max()
+    assert keys == sorted(keys, reverse=True)

@@ -1,0 +1,192 @@
+"""Unit tests for initial-solution construction."""
+
+import random
+
+import pytest
+
+from repro.hypergraph import CircuitSpec, generate_circuit, grid_hypergraph
+from repro.partition import (
+    FREE,
+    block_loads,
+    greedy_bfs_bipartition,
+    random_balanced_bipartition,
+    random_side_assignment,
+    relative_balance,
+    relative_bipartition_balance,
+    respect_fixture,
+    cut_size,
+    terminal_seeded_bipartition,
+)
+
+
+class TestRandomBalanced:
+    def test_feasible_on_unit_areas(self, rng):
+        g = grid_hypergraph(6, 6)
+        balance = relative_bipartition_balance(g.total_area, 0.1)
+        parts = random_balanced_bipartition(g, balance, rng=rng)
+        assert balance.is_feasible(block_loads(g, parts, 2))
+
+    def test_feasible_on_skewed_areas(self, rng):
+        circ = generate_circuit(CircuitSpec(num_cells=400), seed=3)
+        g = circ.graph
+        balance = relative_bipartition_balance(g.total_area, 0.02)
+        for _ in range(5):
+            parts = random_balanced_bipartition(g, balance, rng=rng)
+            assert balance.is_feasible(block_loads(g, parts, 2))
+
+    def test_respects_fixture(self, rng):
+        g = grid_hypergraph(4, 4)
+        fixture = [FREE] * 16
+        fixture[0] = 1
+        fixture[5] = 0
+        balance = relative_bipartition_balance(g.total_area, 0.2)
+        parts = random_balanced_bipartition(
+            g, balance, fixture=fixture, rng=rng
+        )
+        assert respect_fixture(parts, fixture)
+
+    def test_randomness(self):
+        g = grid_hypergraph(6, 6)
+        balance = relative_bipartition_balance(g.total_area, 0.2)
+        a = random_balanced_bipartition(g, balance, rng=random.Random(1))
+        b = random_balanced_bipartition(g, balance, rng=random.Random(2))
+        assert a != b
+
+    def test_deterministic_given_rng(self):
+        g = grid_hypergraph(6, 6)
+        balance = relative_bipartition_balance(g.total_area, 0.2)
+        a = random_balanced_bipartition(g, balance, rng=random.Random(7))
+        b = random_balanced_bipartition(g, balance, rng=random.Random(7))
+        assert a == b
+
+    def test_kway_balance_rejected(self):
+        g = grid_hypergraph(2, 2)
+        with pytest.raises(ValueError):
+            random_balanced_bipartition(
+                g, relative_balance(4.0, 3, 0.1)
+            )
+
+
+class TestRandomSideAssignment:
+    def test_respects_fixture(self, rng):
+        fixture = [1, FREE, 0, FREE]
+        g = grid_hypergraph(2, 2)
+        parts = random_side_assignment(g, fixture=fixture, rng=rng)
+        assert parts[0] == 1 and parts[2] == 0
+
+    def test_multiway(self, rng):
+        g = grid_hypergraph(10, 10)
+        parts = random_side_assignment(g, rng=rng, num_parts=4)
+        assert set(parts) <= {0, 1, 2, 3}
+        assert len(set(parts)) > 1
+
+
+class TestTerminalSeeded:
+    def test_respects_fixture_and_balance(self, rng):
+        circ = generate_circuit(CircuitSpec(num_cells=300), seed=17)
+        g = circ.graph
+        balance = relative_bipartition_balance(g.total_area, 0.05)
+        fixture = [FREE] * g.num_vertices
+        for v in rng.sample(range(g.num_vertices), 60):
+            fixture[v] = rng.randrange(2)
+        parts = terminal_seeded_bipartition(g, balance, fixture, rng=rng)
+        assert respect_fixture(parts, fixture)
+        assert balance.is_feasible(block_loads(g, parts, 2))
+
+    def test_better_than_random_in_good_regime(self, rng):
+        from repro.partition import MultilevelBipartitioner
+
+        circ = generate_circuit(CircuitSpec(num_cells=400), seed=18)
+        g = circ.graph
+        balance = relative_bipartition_balance(g.total_area, 0.02)
+        good = MultilevelBipartitioner(g, balance=balance).run(
+            seed=0
+        ).solution
+        fixture = [FREE] * g.num_vertices
+        for v in rng.sample(range(g.num_vertices), g.num_vertices // 4):
+            fixture[v] = good.parts[v]
+        seeded = terminal_seeded_bipartition(
+            g, balance, fixture, rng=random.Random(1)
+        )
+        rand = random_balanced_bipartition(
+            g, balance, fixture=fixture, rng=random.Random(1)
+        )
+        assert cut_size(g, seeded) < cut_size(g, rand)
+
+    def test_falls_back_when_nothing_fixed(self, rng):
+        g = grid_hypergraph(6, 6)
+        balance = relative_bipartition_balance(g.total_area, 0.1)
+        parts = terminal_seeded_bipartition(
+            g, balance, [FREE] * 36, rng=rng
+        )
+        assert balance.is_feasible(block_loads(g, parts, 2))
+
+    def test_isolated_vertices_assigned(self, rng):
+        from repro.hypergraph import Hypergraph
+
+        g = Hypergraph([[0, 1]], num_vertices=4)
+        balance = relative_bipartition_balance(4.0, 0.6)
+        parts = terminal_seeded_bipartition(
+            g, balance, [0, FREE, FREE, FREE], rng=rng
+        )
+        assert all(p in (0, 1) for p in parts)
+
+    def test_kway_rejected(self, rng):
+        g = grid_hypergraph(2, 2)
+        with pytest.raises(ValueError):
+            terminal_seeded_bipartition(
+                g, relative_balance(4.0, 3, 0.2), [FREE] * 4, rng=rng
+            )
+
+
+class TestGreedyBFS:
+    def test_better_than_random_on_local_graph(self):
+        g = grid_hypergraph(10, 10)
+        balance = relative_bipartition_balance(g.total_area, 0.1)
+        greedy_cuts = []
+        random_cuts = []
+        for s in range(5):
+            greedy_cuts.append(
+                cut_size(
+                    g,
+                    greedy_bfs_bipartition(
+                        g, balance, rng=random.Random(s)
+                    ),
+                )
+            )
+            random_cuts.append(
+                cut_size(
+                    g,
+                    random_balanced_bipartition(
+                        g, balance, rng=random.Random(s)
+                    ),
+                )
+            )
+        assert sum(greedy_cuts) < sum(random_cuts)
+
+    def test_grows_from_fixed_side0(self, rng):
+        g = grid_hypergraph(4, 4)
+        fixture = [FREE] * 16
+        fixture[0] = 0
+        balance = relative_bipartition_balance(g.total_area, 0.3)
+        parts = greedy_bfs_bipartition(g, balance, fixture=fixture, rng=rng)
+        assert parts[0] == 0
+        assert respect_fixture(parts, fixture)
+        # Roughly half the grid ends up on side 0.
+        assert 4 <= sum(1 for p in parts if p == 0) <= 12
+
+    def test_disconnected_graph_still_fills(self, rng):
+        from repro.hypergraph import Hypergraph
+
+        g = Hypergraph([[0, 1], [2, 3]], num_vertices=8)
+        balance = relative_bipartition_balance(8.0, 0.3)
+        parts = greedy_bfs_bipartition(g, balance, rng=rng)
+        loads = block_loads(g, parts, 2)
+        assert balance.is_feasible(loads)
+
+    def test_all_fixed(self, rng):
+        g = grid_hypergraph(2, 2)
+        fixture = [0, 0, 1, 1]
+        balance = relative_bipartition_balance(4.0, 0.3)
+        parts = greedy_bfs_bipartition(g, balance, fixture=fixture, rng=rng)
+        assert parts == [0, 0, 1, 1]

@@ -1,0 +1,147 @@
+"""Unit tests for the direct k-way FM engine."""
+
+import random
+
+import pytest
+
+from repro.hypergraph import (
+    CircuitSpec,
+    clustered_hypergraph,
+    generate_circuit,
+    grid_hypergraph,
+)
+from repro.partition import (
+    FREE,
+    cut_size,
+    recursive_bisection,
+    relative_balance,
+    relative_bipartition_balance,
+)
+from repro.partition.kwayfm import (
+    KWayFMConfig,
+    KWayFMRefiner,
+    kway_fm_partition,
+)
+
+
+class TestRefiner:
+    def test_two_way_agrees_with_cut_size(self, tiny_circuit):
+        g = tiny_circuit.graph
+        balance = relative_bipartition_balance(g.total_area, 0.05)
+        result = kway_fm_partition(g, balance, seed=1)
+        assert result.cut == cut_size(g, result.parts)
+        assert result.cut <= result.initial_cut
+
+    def test_four_way_valid_and_improving(self, tiny_circuit):
+        g = tiny_circuit.graph
+        balance = relative_balance(g.total_area, 4, 0.1)
+        result = kway_fm_partition(g, balance, seed=2)
+        assert set(result.parts) <= {0, 1, 2, 3}
+        assert result.cut == cut_size(g, result.parts)
+        assert result.cut < result.initial_cut
+
+    def test_balance_respected(self, tiny_circuit):
+        g = tiny_circuit.graph
+        balance = relative_balance(g.total_area, 4, 0.1)
+        result = kway_fm_partition(g, balance, seed=3)
+        loads = [0.0] * 4
+        for v in range(g.num_vertices):
+            loads[result.parts[v]] += g.area(v)
+        assert balance.is_feasible(loads)
+
+    def test_fixture_respected(self, tiny_circuit):
+        g = tiny_circuit.graph
+        balance = relative_balance(g.total_area, 4, 0.15)
+        rng = random.Random(4)
+        fixture = [FREE] * g.num_vertices
+        pinned = rng.sample(range(g.num_vertices), 40)
+        for v in pinned:
+            fixture[v] = rng.randrange(4)
+        result = kway_fm_partition(g, balance, fixture=fixture, seed=5)
+        for v in pinned:
+            assert result.parts[v] == fixture[v]
+
+    def test_planted_clusters(self):
+        g = clustered_hypergraph(
+            num_clusters=4, cluster_size=12, intra_nets=48, inter_nets=8,
+            seed=6,
+        )
+        balance = relative_balance(g.total_area, 4, 0.1)
+        best = min(
+            kway_fm_partition(g, balance, seed=s).cut for s in range(4)
+        )
+        # The 8 planted bridges bound a perfect quadrisection.
+        assert best <= 8
+
+    def test_competitive_with_recursive_bisection(self):
+        circ = generate_circuit(CircuitSpec(num_cells=250), seed=7)
+        g = circ.graph
+        balance = relative_balance(g.total_area, 4, 0.15)
+        direct = min(
+            kway_fm_partition(g, balance, seed=s).cut for s in range(3)
+        )
+        recursive = recursive_bisection(g, 4, tolerance=0.15, seed=8).cut
+        # Flat greedy k-way from random starts will not beat the
+        # multilevel recursive engine, but must be in its ballpark.
+        assert direct <= 3.0 * recursive + 20
+
+    def test_all_fixed(self):
+        g = grid_hypergraph(2, 2)
+        balance = relative_balance(4.0, 2, 0.5)
+        refiner = KWayFMRefiner(g, balance, fixture=[0, 0, 1, 1])
+        result = refiner.run([0, 0, 1, 1])
+        assert result.num_passes == 0
+        assert result.cut == 2
+
+    def test_initial_parts_validation(self):
+        g = grid_hypergraph(2, 2)
+        balance = relative_balance(4.0, 2, 0.5)
+        refiner = KWayFMRefiner(g, balance)
+        with pytest.raises(ValueError):
+            refiner.run([0, 1])
+        with pytest.raises(ValueError):
+            refiner.run([0, 1, 2, 0])
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            KWayFMConfig(pass_move_limit_fraction=0.0)
+        with pytest.raises(ValueError):
+            KWayFMConfig(max_passes=0)
+        g = grid_hypergraph(2, 2)
+        with pytest.raises(ValueError):
+            KWayFMRefiner(
+                g, relative_balance(4.0, 1, 0.5)
+            )
+
+    def test_pass_cutoff_limits_moves(self):
+        circ = generate_circuit(CircuitSpec(num_cells=150), seed=9)
+        g = circ.graph
+        balance = relative_balance(g.total_area, 4, 0.15)
+        full = kway_fm_partition(g, balance, seed=10)
+        limited = kway_fm_partition(
+            g,
+            balance,
+            config=KWayFMConfig(pass_move_limit_fraction=0.1),
+            seed=10,
+        )
+        if len(limited.pass_moves) > 1:
+            limit = max(1, int(0.1 * g.num_vertices))
+            assert all(m <= limit for m in limited.pass_moves[1:])
+        assert limited.cut == cut_size(g, limited.parts)
+        del full
+
+    def test_deterministic(self, tiny_circuit):
+        g = tiny_circuit.graph
+        balance = relative_balance(g.total_area, 3, 0.12)
+        a = kway_fm_partition(g, balance, seed=11)
+        b = kway_fm_partition(g, balance, seed=11)
+        assert a.parts == b.parts
+
+    def test_grid_quadrisection_quality(self):
+        g = grid_hypergraph(8, 8)
+        balance = relative_balance(g.total_area, 4, 0.1)
+        best = min(
+            kway_fm_partition(g, balance, seed=s).cut for s in range(5)
+        )
+        # Ideal quadrisection of an 8x8 grid cuts 16 edges.
+        assert best <= 30

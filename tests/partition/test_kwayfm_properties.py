@@ -1,0 +1,98 @@
+"""Property-based tests for the direct k-way FM engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph import Hypergraph
+from repro.partition import (
+    FREE,
+    cut_size,
+    relative_balance,
+)
+from repro.partition.kwayfm import KWayFMRefiner, kway_fm_partition
+
+
+@st.composite
+def kway_instances(draw):
+    n = draw(st.integers(min_value=3, max_value=12))
+    k = draw(st.integers(min_value=2, max_value=min(4, n)))
+    num_nets = draw(st.integers(min_value=1, max_value=18))
+    nets = []
+    for _ in range(num_nets):
+        size = draw(st.integers(min_value=2, max_value=min(4, n)))
+        nets.append(
+            draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=n - 1),
+                    min_size=size,
+                    max_size=size,
+                    unique=True,
+                )
+            )
+        )
+    weights = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=4),
+            min_size=num_nets,
+            max_size=num_nets,
+        )
+    )
+    fixture = draw(
+        st.lists(
+            st.integers(min_value=-1, max_value=k - 1),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    if all(f != FREE for f in fixture):
+        fixture[0] = FREE
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    graph = Hypergraph(nets, num_vertices=n, net_weights=weights)
+    return graph, k, fixture, seed
+
+
+@given(kway_instances())
+@settings(max_examples=100, deadline=None)
+def test_kway_fm_invariants(instance):
+    """Exact cut, fixture respect, monotone improvement, valid blocks."""
+    graph, k, fixture, seed = instance
+    balance = relative_balance(graph.total_area, k, 0.9)
+    result = kway_fm_partition(
+        graph, balance, fixture=fixture, seed=seed
+    )
+    # 1. Reported cut is the true cut-nets value.
+    assert result.cut == cut_size(graph, result.parts)
+    # 2. Never worse than the constructed start.
+    assert result.cut <= result.initial_cut
+    # 3. Fixed vertices stayed in their blocks.
+    for v, f in enumerate(fixture):
+        if f != FREE:
+            assert result.parts[v] == f
+    # 4. Blocks are in range.
+    assert all(0 <= p < k for p in result.parts)
+
+
+@given(kway_instances())
+@settings(max_examples=60, deadline=None)
+def test_kway_refiner_idempotent(instance):
+    """Re-refining the engine's own output cannot worsen it."""
+    graph, k, fixture, seed = instance
+    balance = relative_balance(graph.total_area, k, 0.9)
+    refiner = KWayFMRefiner(graph, balance, fixture=fixture)
+    first = kway_fm_partition(graph, balance, fixture=fixture, seed=seed)
+    second = refiner.run(list(first.parts), seed=seed)
+    assert second.cut <= first.cut
+
+
+@given(kway_instances())
+@settings(max_examples=60, deadline=None)
+def test_kway_two_blocks_matches_bipartition_semantics(instance):
+    """With k=2 the cut-nets objective equals the 2-way cut."""
+    graph, _, fixture, seed = instance
+    fixture2 = [f if f in (FREE, 0, 1) else FREE for f in fixture]
+    balance = relative_balance(graph.total_area, 2, 0.9)
+    result = kway_fm_partition(
+        graph, balance, fixture=fixture2, seed=seed
+    )
+    assert result.cut == cut_size(graph, result.parts)
+    assert set(result.parts) <= {0, 1}

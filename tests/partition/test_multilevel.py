@@ -1,0 +1,201 @@
+"""Unit tests for the multilevel partitioner."""
+
+import random
+
+import pytest
+
+from repro.hypergraph import (
+    CircuitSpec,
+    chain_hypergraph,
+    clustered_hypergraph,
+    generate_circuit,
+    grid_hypergraph,
+)
+from repro.partition import (
+    FREE,
+    FMBipartitioner,
+    MultilevelBipartitioner,
+    MultilevelConfig,
+    block_loads,
+    random_balanced_bipartition,
+    relative_bipartition_balance,
+    respect_fixture,
+)
+
+
+class TestBasics:
+    def test_grid_near_optimal(self):
+        g = grid_hypergraph(8, 16)  # optimal bisection cut = 8
+        balance = relative_bipartition_balance(g.total_area, 0.02)
+        engine = MultilevelBipartitioner(g, balance=balance)
+        best = min(engine.run(seed=s).solution.cut for s in range(3))
+        assert best <= 12
+
+    def test_chain_optimal(self):
+        g = chain_hypergraph(64)
+        balance = relative_bipartition_balance(g.total_area, 0.05)
+        engine = MultilevelBipartitioner(g, balance=balance)
+        assert engine.run(seed=0).solution.cut == 1
+
+    def test_cut_is_exact(self, tiny_circuit, tiny_balance):
+        g = tiny_circuit.graph
+        engine = MultilevelBipartitioner(g, balance=tiny_balance)
+        result = engine.run(seed=1)
+        assert result.solution.verify_cut(g)
+
+    def test_result_feasible(self, tiny_circuit, tiny_balance):
+        g = tiny_circuit.graph
+        engine = MultilevelBipartitioner(g, balance=tiny_balance)
+        result = engine.run(seed=2)
+        loads = block_loads(g, result.solution.parts, 2)
+        assert tiny_balance.is_feasible(loads)
+
+    def test_deterministic_in_seed(self, tiny_circuit, tiny_balance):
+        engine = MultilevelBipartitioner(
+            tiny_circuit.graph, balance=tiny_balance
+        )
+        a = engine.run(seed=5)
+        b = engine.run(seed=5)
+        assert a.solution.parts == b.solution.parts
+
+    def test_beats_flat_fm(self):
+        circ = generate_circuit(CircuitSpec(num_cells=800), seed=21)
+        g = circ.graph
+        balance = relative_bipartition_balance(g.total_area, 0.02)
+        ml = MultilevelBipartitioner(g, balance=balance)
+        ml_best = min(ml.run(seed=s).solution.cut for s in range(3))
+        flat = FMBipartitioner(g, balance)
+        flat_best = min(
+            flat.run(
+                random_balanced_bipartition(
+                    g, balance, rng=random.Random(s)
+                )
+            ).solution.cut
+            for s in range(3)
+        )
+        assert ml_best < flat_best
+
+    def test_builds_hierarchy(self, tiny_circuit, tiny_balance):
+        engine = MultilevelBipartitioner(
+            tiny_circuit.graph,
+            balance=tiny_balance,
+            config=MultilevelConfig(coarsest_size=40),
+        )
+        result = engine.run(seed=0)
+        assert result.num_levels >= 2
+        assert result.coarsest_vertices <= tiny_circuit.graph.num_vertices
+
+    def test_small_graph_no_hierarchy(self):
+        g = chain_hypergraph(10)
+        balance = relative_bipartition_balance(g.total_area, 0.2)
+        engine = MultilevelBipartitioner(
+            g, balance=balance, config=MultilevelConfig(coarsest_size=120)
+        )
+        result = engine.run(seed=0)
+        assert result.num_levels == 0
+        assert result.solution.cut == 1
+
+
+class TestFixedVertices:
+    def test_fixture_respected(self, tiny_circuit, tiny_balance):
+        g = tiny_circuit.graph
+        rng = random.Random(3)
+        fixture = [FREE] * g.num_vertices
+        for v in rng.sample(range(g.num_vertices), g.num_vertices // 4):
+            fixture[v] = rng.randrange(2)
+        engine = MultilevelBipartitioner(
+            g, balance=tiny_balance, fixture=fixture
+        )
+        result = engine.run(seed=4)
+        assert respect_fixture(result.solution.parts, fixture)
+        assert result.solution.verify_cut(g)
+
+    def test_good_fixture_recovers_good_cut(self, tiny_circuit, tiny_balance):
+        g = tiny_circuit.graph
+        free_engine = MultilevelBipartitioner(g, balance=tiny_balance)
+        good = min(
+            (free_engine.run(seed=s).solution for s in range(4)),
+            key=lambda sol: sol.cut,
+        )
+        rng = random.Random(9)
+        fixture = [FREE] * g.num_vertices
+        for v in rng.sample(range(g.num_vertices), g.num_vertices // 3):
+            fixture[v] = good.parts[v]
+        fixed_engine = MultilevelBipartitioner(
+            g, balance=tiny_balance, fixture=fixture
+        )
+        result = fixed_engine.run(seed=1)
+        assert result.solution.cut <= int(good.cut * 1.5) + 2
+
+    def test_all_fixed(self):
+        g = chain_hypergraph(6)
+        fixture = [0, 0, 0, 1, 1, 1]
+        balance = relative_bipartition_balance(6.0, 0.1)
+        engine = MultilevelBipartitioner(
+            g, balance=balance, fixture=fixture
+        )
+        result = engine.run(seed=0)
+        assert result.solution.parts == fixture
+        assert result.solution.cut == 1
+
+
+class TestConfig:
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            MultilevelConfig(matching="best")
+        with pytest.raises(ValueError):
+            MultilevelConfig(clustering_ratio=1.5)
+        with pytest.raises(ValueError):
+            MultilevelConfig(coarsest_size=1)
+        with pytest.raises(ValueError):
+            MultilevelConfig(initial_starts=0)
+        with pytest.raises(ValueError):
+            MultilevelConfig(vcycles=-1)
+
+    def test_random_matching_works(self, tiny_circuit, tiny_balance):
+        engine = MultilevelBipartitioner(
+            tiny_circuit.graph,
+            balance=tiny_balance,
+            config=MultilevelConfig(matching="random"),
+        )
+        result = engine.run(seed=0)
+        assert result.solution.verify_cut(tiny_circuit.graph)
+
+    def test_vcycle_runs_and_does_not_hurt(self, tiny_circuit, tiny_balance):
+        g = tiny_circuit.graph
+        base = MultilevelBipartitioner(
+            g, balance=tiny_balance, config=MultilevelConfig(vcycles=0)
+        ).run(seed=7)
+        vcycled = MultilevelBipartitioner(
+            g, balance=tiny_balance, config=MultilevelConfig(vcycles=1)
+        ).run(seed=7)
+        assert vcycled.vcycles_run == 1
+        assert vcycled.solution.verify_cut(g)
+        # A V-cycle refines an existing solution: never worse.
+        assert vcycled.solution.cut <= base.solution.cut
+
+    def test_kway_balance_rejected(self):
+        from repro.partition import relative_balance
+
+        g = chain_hypergraph(4)
+        with pytest.raises(ValueError):
+            MultilevelBipartitioner(
+                g, balance=relative_balance(4.0, 3, 0.1)
+            )
+
+    def test_default_balance_is_papers(self):
+        g = chain_hypergraph(100)
+        engine = MultilevelBipartitioner(g)
+        assert engine.balance.min_loads[0] == pytest.approx(49.0)
+        assert engine.balance.max_loads[0] == pytest.approx(51.0)
+
+    def test_planted_clusters_recovered(self):
+        g = clustered_hypergraph(
+            num_clusters=4, cluster_size=16, intra_nets=60, inter_nets=8,
+            seed=5,
+        )
+        balance = relative_bipartition_balance(g.total_area, 0.05)
+        engine = MultilevelBipartitioner(g, balance=balance)
+        best = min(engine.run(seed=s).solution.cut for s in range(3))
+        # The planted inter-cluster bridges bound a good bisection.
+        assert best <= 8

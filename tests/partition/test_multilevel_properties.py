@@ -1,0 +1,125 @@
+"""Property-based tests for the multilevel engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph import Hypergraph
+from repro.partition import (
+    FREE,
+    MultilevelBipartitioner,
+    MultilevelConfig,
+    block_loads,
+    relative_bipartition_balance,
+    respect_fixture,
+)
+
+
+@st.composite
+def ml_instances(draw):
+    n = draw(st.integers(min_value=4, max_value=24))
+    num_nets = draw(st.integers(min_value=2, max_value=40))
+    nets = []
+    for _ in range(num_nets):
+        size = draw(st.integers(min_value=2, max_value=min(4, n)))
+        nets.append(
+            draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=n - 1),
+                    min_size=size,
+                    max_size=size,
+                    unique=True,
+                )
+            )
+        )
+    areas = draw(
+        st.lists(
+            st.sampled_from([1.0, 1.0, 2.0, 3.0]),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    weights = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=4),
+            min_size=num_nets,
+            max_size=num_nets,
+        )
+    )
+    fixture = draw(
+        st.lists(
+            st.sampled_from([FREE, FREE, FREE, 0, 1]),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    if all(f != FREE for f in fixture):
+        fixture[0] = FREE
+    coarsest = draw(st.sampled_from([4, 8, 120]))
+    vcycles = draw(st.integers(min_value=0, max_value=1))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    graph = Hypergraph(nets, num_vertices=n, areas=areas, net_weights=weights)
+    return graph, fixture, coarsest, vcycles, seed
+
+
+def _feasible_assignment_exists(graph, balance, fixture):
+    """Subset-sum oracle: can any fixture-respecting assignment meet
+    the balance window?  (Integer areas make this a small DP.)"""
+    fixed0 = sum(
+        graph.area(v)
+        for v in range(graph.num_vertices)
+        if fixture[v] == 0
+    )
+    free_areas = [
+        int(graph.area(v))
+        for v in range(graph.num_vertices)
+        if fixture[v] == FREE
+    ]
+    reachable = {0}
+    for a in free_areas:
+        reachable |= {s + a for s in reachable}
+    lo, hi = balance.min_loads[0], balance.max_loads[0]
+    return any(lo <= fixed0 + s <= hi for s in reachable)
+
+
+@given(ml_instances())
+@settings(max_examples=60, deadline=None)
+def test_multilevel_invariants(instance):
+    """Exact cut, fixture respect, feasibility on random instances."""
+    graph, fixture, coarsest, vcycles, seed = instance
+    balance = relative_bipartition_balance(graph.total_area, 0.4)
+    engine = MultilevelBipartitioner(
+        graph,
+        balance=balance,
+        fixture=fixture,
+        config=MultilevelConfig(
+            coarsest_size=coarsest,
+            initial_starts=2,
+            vcycles=vcycles,
+        ),
+    )
+    result = engine.run(seed=seed)
+    assert result.solution.verify_cut(graph)
+    assert respect_fixture(result.solution.parts, fixture)
+    if _feasible_assignment_exists(graph, balance, fixture):
+        loads = block_loads(graph, result.solution.parts, 2)
+        assert balance.is_feasible(loads)
+    assert result.vcycles_run == vcycles
+
+
+@given(ml_instances())
+@settings(max_examples=30, deadline=None)
+def test_multilevel_deterministic(instance):
+    """Same seed, same solution."""
+    graph, fixture, coarsest, vcycles, seed = instance
+    balance = relative_bipartition_balance(graph.total_area, 0.4)
+    config = MultilevelConfig(
+        coarsest_size=coarsest, initial_starts=2, vcycles=vcycles
+    )
+    a = MultilevelBipartitioner(
+        graph, balance=balance, fixture=fixture, config=config
+    ).run(seed=seed)
+    b = MultilevelBipartitioner(
+        graph, balance=balance, fixture=fixture, config=config
+    ).run(seed=seed)
+    assert a.solution.parts == b.solution.parts
+    assert a.solution.cut == b.solution.cut

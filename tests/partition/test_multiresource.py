@@ -1,0 +1,201 @@
+"""Unit tests for the multi-balanced FM engine."""
+
+import random
+
+import pytest
+
+from repro.hypergraph import CircuitSpec, Hypergraph, generate_circuit
+from repro.partition import (
+    FREE,
+    BalanceConstraint,
+    MultiBalanceConstraint,
+    MultiResourceFMBipartitioner,
+    MultiResourceFMConfig,
+    cut_size,
+    multi_resource_initial,
+)
+
+
+def two_resource_graph(seed=0, num_cells=120):
+    """Circuit whose cells carry area plus a synthetic power value."""
+    circ = generate_circuit(CircuitSpec(num_cells=num_cells), seed=seed)
+    g = circ.graph
+    rng = random.Random(seed)
+    power = [
+        0.0 if circ.is_pad(v) else rng.uniform(0.5, 4.0)
+        for v in range(g.num_vertices)
+    ]
+    return Hypergraph(
+        list(g.nets()),
+        num_vertices=g.num_vertices,
+        areas=list(g.areas),
+        net_weights=list(g.net_weights),
+        extra_resources=[power],
+    )
+
+
+def multi_balance(graph, tolerances=(0.05, 0.15)):
+    constraints = []
+    for r, tol in enumerate(tolerances):
+        total = sum(graph.resource_vector(r))
+        half = total / 2.0
+        constraints.append(
+            BalanceConstraint(
+                min_loads=[half * (1 - tol)] * 2,
+                max_loads=[half * (1 + tol)] * 2,
+            )
+        )
+    return MultiBalanceConstraint(constraints=constraints)
+
+
+def resource_loads(graph, parts, resources):
+    loads = [[0.0, 0.0] for _ in range(resources)]
+    for v in range(graph.num_vertices):
+        for r in range(resources):
+            loads[r][parts[v]] += graph.resource(v, r)
+    return loads
+
+
+class TestEngine:
+    def test_improves_and_reports_exact_cut(self):
+        g = two_resource_graph(seed=1)
+        balance = multi_balance(g)
+        init = multi_resource_initial(g, balance, seed=2)
+        engine = MultiResourceFMBipartitioner(g, balance)
+        result = engine.run(init)
+        assert result.solution.verify_cut(g)
+        assert result.solution.cut <= result.initial_cut
+
+    def test_all_resources_balanced(self):
+        g = two_resource_graph(seed=3)
+        balance = multi_balance(g)
+        init = multi_resource_initial(g, balance, seed=4)
+        result = MultiResourceFMBipartitioner(g, balance).run(init)
+        loads = resource_loads(g, result.solution.parts, 2)
+        assert balance.is_feasible(loads)
+
+    def test_fixture_respected(self):
+        g = two_resource_graph(seed=5)
+        rng = random.Random(6)
+        fixture = [FREE] * g.num_vertices
+        pinned = rng.sample(range(g.num_vertices), 20)
+        for v in pinned:
+            fixture[v] = rng.randrange(2)
+        balance = multi_balance(g)
+        init = multi_resource_initial(g, balance, fixture=fixture, seed=7)
+        result = MultiResourceFMBipartitioner(
+            g, balance, fixture=fixture
+        ).run(init)
+        for v in pinned:
+            assert result.solution.parts[v] == fixture[v]
+
+    def test_tight_second_resource_changes_solution(self):
+        # When the second resource is concentrated on one clique, a
+        # tight window on it must split that clique even at cut cost.
+        nets = [[0, 1], [1, 2], [2, 3], [3, 4], [4, 5], [0, 5]]
+        power = [10.0, 10.0, 10.0, 0.1, 0.1, 0.1]
+        g = Hypergraph(
+            nets,
+            num_vertices=6,
+            areas=[1.0] * 6,
+            extra_resources=[power],
+        )
+        power_tight = MultiBalanceConstraint(
+            constraints=[
+                BalanceConstraint(min_loads=[2, 2], max_loads=[4, 4]),
+                BalanceConstraint(min_loads=[8, 8], max_loads=[22, 22]),
+            ]
+        )
+        # The natural cut-2 bisection piles all three 10-power cells on
+        # one side (power 30 / 0.3), violating the power window...
+        init = [0, 0, 0, 1, 1, 1]
+        init_power = resource_loads(g, init, 2)[1]
+        assert not power_tight.constraints[1].is_feasible(init_power)
+        # ...so the engine must split the tens 2/1 while keeping areas
+        # legal, repairing the violation from an infeasible start.
+        tight = MultiResourceFMBipartitioner(g, power_tight).run(list(init))
+        loads = resource_loads(g, tight.solution.parts, 2)
+        assert power_tight.is_feasible(loads)
+        assert tight.solution.cut <= 3  # ring cuts cannot go below 2
+
+    def test_pass_cutoff(self):
+        g = two_resource_graph(seed=8)
+        balance = multi_balance(g)
+        init = multi_resource_initial(g, balance, seed=9)
+        full = MultiResourceFMBipartitioner(g, balance).run(list(init))
+        limited = MultiResourceFMBipartitioner(
+            g,
+            balance,
+            config=MultiResourceFMConfig(pass_move_limit_fraction=0.1),
+        ).run(list(init))
+        assert limited.total_moves <= full.total_moves
+        assert limited.solution.verify_cut(g)
+
+    def test_validation(self):
+        g = two_resource_graph(seed=10)
+        balance = multi_balance(g)
+        three_way = MultiBalanceConstraint(
+            constraints=[
+                BalanceConstraint(
+                    min_loads=[0, 0, 0], max_loads=[9, 9, 9]
+                )
+            ]
+        )
+        with pytest.raises(ValueError):
+            MultiResourceFMBipartitioner(g, three_way)
+        too_many = MultiBalanceConstraint(
+            constraints=[
+                BalanceConstraint(min_loads=[0, 0], max_loads=[9, 9])
+            ]
+            * 3
+        )
+        with pytest.raises(ValueError):
+            MultiResourceFMBipartitioner(g, too_many)
+        engine = MultiResourceFMBipartitioner(g, balance)
+        with pytest.raises(ValueError):
+            engine.run([0, 1])
+        with pytest.raises(ValueError):
+            MultiResourceFMConfig(pass_move_limit_fraction=0.0)
+
+    def test_single_resource_matches_scalar_fm_quality(self):
+        # With one resource the engine should behave like scalar FM.
+        from repro.partition import (
+            FMBipartitioner,
+            random_balanced_bipartition,
+            relative_bipartition_balance,
+        )
+
+        circ = generate_circuit(CircuitSpec(num_cells=150), seed=11)
+        g = circ.graph
+        scalar_balance = relative_bipartition_balance(g.total_area, 0.05)
+        vector_balance = MultiBalanceConstraint(
+            constraints=[scalar_balance]
+        )
+        init = random_balanced_bipartition(
+            g, scalar_balance, rng=random.Random(12)
+        )
+        scalar = FMBipartitioner(g, scalar_balance).run(list(init))
+        vector = MultiResourceFMBipartitioner(g, vector_balance).run(
+            list(init)
+        )
+        assert vector.solution.cut <= scalar.solution.cut * 1.5 + 5
+        assert scalar.solution.cut <= vector.solution.cut * 1.5 + 5
+
+
+class TestInitialConstruction:
+    def test_feasible_on_two_resources(self):
+        g = two_resource_graph(seed=13)
+        balance = multi_balance(g, tolerances=(0.1, 0.25))
+        parts = multi_resource_initial(g, balance, seed=14)
+        loads = resource_loads(g, parts, 2)
+        assert balance.is_feasible(loads)
+
+    def test_respects_fixture(self):
+        g = two_resource_graph(seed=15)
+        balance = multi_balance(g)
+        fixture = [FREE] * g.num_vertices
+        fixture[0] = 1
+        parts = multi_resource_initial(
+            g, balance, fixture=fixture, seed=16
+        )
+        assert parts[0] == 1

@@ -1,0 +1,157 @@
+"""Unit tests for the spectral baseline."""
+
+import numpy as np
+import pytest
+
+from repro.hypergraph import (
+    CircuitSpec,
+    Hypergraph,
+    chain_hypergraph,
+    clustered_hypergraph,
+    generate_circuit,
+    grid_hypergraph,
+)
+from repro.partition import (
+    FREE,
+    cut_size,
+    random_baseline,
+    relative_bipartition_balance,
+    spectral_bipartition,
+    spectral_plus_fm,
+    sweep_cut,
+)
+from repro.partition.spectral import clique_laplacian, fiedler_vector
+
+
+class TestLaplacian:
+    def test_rows_sum_to_zero(self, small_hypergraph):
+        lap = clique_laplacian(small_hypergraph).toarray()
+        assert np.allclose(lap.sum(axis=1), 0.0)
+
+    def test_symmetric(self, small_hypergraph):
+        lap = clique_laplacian(small_hypergraph).toarray()
+        assert np.allclose(lap, lap.T)
+
+    def test_two_pin_weights(self):
+        g = Hypergraph([[0, 1]], num_vertices=2, net_weights=[3])
+        lap = clique_laplacian(g).toarray()
+        assert lap[0, 1] == pytest.approx(-3.0)
+        assert lap[0, 0] == pytest.approx(3.0)
+
+    def test_quadratic_form_nonnegative(self, clusters4):
+        lap = clique_laplacian(clusters4).toarray()
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            x = rng.standard_normal(clusters4.num_vertices)
+            assert x @ lap @ x >= -1e-8
+
+
+class TestFiedler:
+    def test_chain_is_monotone(self):
+        g = chain_hypergraph(20)
+        f = fiedler_vector(g, seed=1)
+        order = np.argsort(f)
+        # The Fiedler vector of a path is monotone along the path.
+        assert list(order) == list(range(20)) or list(order) == list(
+            reversed(range(20))
+        )
+
+    def test_separates_planted_clusters(self):
+        g = clustered_hypergraph(
+            num_clusters=2, cluster_size=12, intra_nets=40, inter_nets=2,
+            seed=3,
+        )
+        f = fiedler_vector(g, seed=1)
+        side_a = set(np.argsort(f)[:12])
+        cluster_a = set(range(12))
+        # Up to sign, the split matches the planted clusters.
+        assert side_a in (cluster_a, set(range(12, 24)))
+
+    def test_tiny_graph(self):
+        g = Hypergraph([[0, 1]], num_vertices=2)
+        f = fiedler_vector(g)
+        assert len(f) == 2
+
+
+class TestSweepCut:
+    def test_chain_prefix_is_optimal(self):
+        g = chain_hypergraph(10)
+        balance = relative_bipartition_balance(10.0, 0.2)
+        parts, cut = sweep_cut(g, list(range(10)), balance)
+        assert cut == 1
+        assert cut_size(g, parts) == 1
+
+    def test_fixture_loads_accounted(self):
+        g = chain_hypergraph(6)
+        fixture = [0, FREE, FREE, FREE, FREE, 1]
+        balance = relative_bipartition_balance(6.0, 0.4)
+        parts, cut = sweep_cut(g, [1, 2, 3, 4], balance, fixture)
+        assert parts[0] == 0 and parts[5] == 1
+        assert cut == cut_size(g, parts)
+
+    def test_rejects_fixed_vertex_in_order(self):
+        g = chain_hypergraph(4)
+        balance = relative_bipartition_balance(4.0, 0.5)
+        with pytest.raises(ValueError):
+            sweep_cut(g, [0, 1], balance, fixture=[0, FREE, FREE, FREE])
+
+
+class TestSpectralBipartition:
+    def test_chain_optimal(self):
+        g = chain_hypergraph(40)
+        balance = relative_bipartition_balance(g.total_area, 0.1)
+        assert spectral_bipartition(g, balance).cut == 1
+
+    def test_grid_optimal(self):
+        g = grid_hypergraph(8, 16)
+        balance = relative_bipartition_balance(g.total_area, 0.05)
+        assert spectral_bipartition(g, balance).cut == 8
+
+    def test_cut_exact_and_feasible(self):
+        circ = generate_circuit(CircuitSpec(num_cells=200), seed=5)
+        g = circ.graph
+        balance = relative_bipartition_balance(g.total_area, 0.05)
+        sol = spectral_bipartition(g, balance)
+        assert sol.verify_cut(g)
+        loads = [0.0, 0.0]
+        for v in range(g.num_vertices):
+            loads[sol.parts[v]] += g.area(v)
+        assert balance.is_feasible(loads)
+
+    def test_fixture_respected(self):
+        circ = generate_circuit(CircuitSpec(num_cells=150), seed=6)
+        g = circ.graph
+        fixture = [FREE] * g.num_vertices
+        fixture[3] = 1
+        fixture[7] = 0
+        balance = relative_bipartition_balance(g.total_area, 0.05)
+        sol = spectral_bipartition(g, balance, fixture=fixture)
+        assert sol.parts[3] == 1 and sol.parts[7] == 0
+
+    def test_beats_random_on_structured_graph(self):
+        g = clustered_hypergraph(
+            num_clusters=2, cluster_size=20, intra_nets=80, inter_nets=4,
+            seed=7,
+        )
+        balance = relative_bipartition_balance(g.total_area, 0.1)
+        spectral = spectral_bipartition(g, balance)
+        rand = random_baseline(g, balance, seed=0)
+        assert spectral.cut < rand.cut
+
+    def test_kway_rejected(self):
+        from repro.partition import relative_balance
+
+        g = chain_hypergraph(6)
+        with pytest.raises(ValueError):
+            spectral_bipartition(g, relative_balance(6.0, 3, 0.2))
+
+
+class TestSpectralPlusFM:
+    def test_refinement_never_worse(self):
+        circ = generate_circuit(CircuitSpec(num_cells=250), seed=8)
+        g = circ.graph
+        balance = relative_bipartition_balance(g.total_area, 0.05)
+        raw = spectral_bipartition(g, balance, seed=1)
+        refined = spectral_plus_fm(g, balance, seed=1)
+        assert refined.cut <= raw.cut
+        assert refined.verify_cut(g)

@@ -1,0 +1,160 @@
+"""Unit tests for placement-driven net cost models."""
+
+import pytest
+
+from repro.core import PartitioningInstance
+from repro.hypergraph import Hypergraph
+from repro.partition import BalanceConstraint
+from repro.placement import Cutline, Rect, VERTICAL, midline
+from repro.placement.objective import (
+    _bbox_half_perimeter,
+    terminal_positions_from_placement,
+    wirelength_cost_model,
+)
+
+
+def make_instance(nets, num_vertices, terminals, fixture_sides):
+    """A tiny instance: zero-area terminals with given fixed sides."""
+    areas = [0.0 if v in terminals else 1.0 for v in range(num_vertices)]
+    graph = Hypergraph(nets, num_vertices=num_vertices, areas=areas)
+    balance = BalanceConstraint(
+        min_loads=[0.0, 0.0],
+        max_loads=[sum(areas), sum(areas)],
+    )
+    fixture_sets = [None] * num_vertices
+    for t, side in zip(terminals, fixture_sides):
+        fixture_sets[t] = frozenset([side])
+    return PartitioningInstance(
+        graph=graph,
+        num_parts=2,
+        balance=balance,
+        fixture_sets=fixture_sets,
+        pad_vertices=list(terminals),
+        name="obj",
+    )
+
+
+class TestBBox:
+    def test_single_point(self):
+        assert _bbox_half_perimeter([(3.0, 4.0)]) == 0.0
+
+    def test_two_points(self):
+        assert _bbox_half_perimeter([(0, 0), (3, 4)]) == 7.0
+
+    def test_interior_points_free(self):
+        assert _bbox_half_perimeter(
+            [(0, 0), (3, 4), (1, 1), (2, 2)]
+        ) == 7.0
+
+
+class TestWirelengthModel:
+    def test_terminal_pull_direction(self):
+        # One movable cell (0) on a net with a terminal (1) far on the
+        # low-x side of the cut: the all-low state must be cheaper.
+        block = Rect(0, 0, 100, 100)
+        cut = Cutline(axis=VERTICAL, position=50.0)
+        instance = make_instance(
+            nets=[[0, 1]], num_vertices=2, terminals=[1],
+            fixture_sides=[0],
+        )
+        model = wirelength_cost_model(
+            instance, block, {1: (5.0, 50.0)}, cutline=cut
+        )
+        assert model.cost0[0] < model.cost1[0]
+        assert model.cost_cut[0] >= model.cost0[0]
+
+    def test_no_terminal_net_costs_center_distance_when_cut(self):
+        block = Rect(0, 0, 100, 100)
+        cut = midline(block, VERTICAL)
+        instance = make_instance(
+            nets=[[0, 1]], num_vertices=2, terminals=[],
+            fixture_sides=[],
+        )
+        model = wirelength_cost_model(
+            instance, block, {}, cutline=cut
+        )
+        assert model.cost0[0] == 0
+        assert model.cost1[0] == 0
+        # centres (25,50) and (75,50): half-perimeter 50.
+        assert model.cost_cut[0] == 50
+
+    def test_terminal_only_net_is_constant(self):
+        block = Rect(0, 0, 10, 10)
+        instance = make_instance(
+            nets=[[0, 1]], num_vertices=2, terminals=[0, 1],
+            fixture_sides=[0, 1],
+        )
+        model = wirelength_cost_model(
+            instance,
+            block,
+            {0: (0.0, 0.0), 1: (4.0, 3.0)},
+            cutline=midline(block, VERTICAL),
+        )
+        assert model.cost0[0] == model.cost1[0] == model.cost_cut[0] == 7
+
+    def test_scale(self):
+        block = Rect(0, 0, 100, 100)
+        instance = make_instance(
+            nets=[[0, 1]], num_vertices=2, terminals=[],
+            fixture_sides=[],
+        )
+        coarse = wirelength_cost_model(
+            instance, block, {}, cutline=midline(block, VERTICAL),
+            scale=1.0,
+        )
+        fine = wirelength_cost_model(
+            instance, block, {}, cutline=midline(block, VERTICAL),
+            scale=10.0,
+        )
+        assert fine.cost_cut[0] == 10 * coarse.cost_cut[0]
+
+    def test_net_weight_scales_cost(self):
+        block = Rect(0, 0, 100, 100)
+        g = Hypergraph(
+            [[0, 1]], num_vertices=2, areas=[1.0, 1.0], net_weights=[3]
+        )
+        instance = PartitioningInstance(
+            graph=g,
+            num_parts=2,
+            balance=BalanceConstraint(
+                min_loads=[0, 0], max_loads=[2, 2]
+            ),
+            name="w",
+        )
+        model = wirelength_cost_model(
+            instance, block, {}, cutline=midline(block, VERTICAL)
+        )
+        assert model.cost_cut[0] == 150  # 3 * 50
+
+
+class TestTerminalPositions:
+    def test_requires_id_map(self):
+        instance = make_instance(
+            nets=[[0, 1]], num_vertices=2, terminals=[1],
+            fixture_sides=[0],
+        )
+        with pytest.raises(ValueError):
+            terminal_positions_from_placement(instance, [(0, 0)] * 2)
+
+    def test_unknown_terminal(self):
+        instance = make_instance(
+            nets=[[0, 1]], num_vertices=2, terminals=[1],
+            fixture_sides=[0],
+        )
+        with pytest.raises(KeyError):
+            terminal_positions_from_placement(
+                instance, [(0, 0)] * 2, original_ids={"other": 0}
+            )
+
+    def test_resolution_by_name(self):
+        instance = make_instance(
+            nets=[[0, 1]], num_vertices=2, terminals=[1],
+            fixture_sides=[0],
+        )
+        name = instance.graph.vertex_name(1)
+        positions = terminal_positions_from_placement(
+            instance,
+            [(1.0, 2.0), (3.0, 4.0)],
+            original_ids={name: 1},
+        )
+        assert positions == {1: (3.0, 4.0)}

@@ -1,0 +1,130 @@
+"""Unit tests for the top-down placer."""
+
+import random
+
+import pytest
+
+from repro.hypergraph import CircuitSpec, generate_circuit
+from repro.placement import (
+    Placement,
+    PlacerConfig,
+    Rect,
+    TopDownPlacer,
+    perimeter_pad_positions,
+    place_circuit,
+)
+
+
+@pytest.fixture(scope="module")
+def placed():
+    circ = generate_circuit(CircuitSpec(num_cells=220, name="p220"), seed=41)
+    return circ, place_circuit(circ, die_size=100.0, seed=1)
+
+
+class TestPadPositions:
+    def test_on_boundary(self):
+        die = Rect(0, 0, 10, 10)
+        positions = perimeter_pad_positions(die, list(range(12)))
+        assert len(positions) == 12
+        for x, y in positions.values():
+            on_edge = (
+                x in (die.x0, die.x1) or y in (die.y0, die.y1)
+            )
+            assert on_edge
+            assert die.contains(x, y)
+
+    def test_spread_over_all_sides(self):
+        die = Rect(0, 0, 10, 10)
+        positions = perimeter_pad_positions(die, list(range(40)))
+        sides = set()
+        for x, y in positions.values():
+            if y == die.y0:
+                sides.add("bottom")
+            elif y == die.y1:
+                sides.add("top")
+            elif x == die.x0:
+                sides.add("left")
+            elif x == die.x1:
+                sides.add("right")
+        assert sides == {"bottom", "top", "left", "right"}
+
+    def test_empty(self):
+        assert perimeter_pad_positions(Rect(0, 0, 1, 1), []) == {}
+
+
+class TestPlacer:
+    def test_all_cells_inside_die(self, placed):
+        circ, placement = placed
+        for v in circ.cell_vertices:
+            x, y = placement.positions[v]
+            assert placement.die.contains(x, y)
+
+    def test_pads_on_given_positions(self, placed):
+        circ, placement = placed
+        expected = perimeter_pad_positions(
+            placement.die, circ.pad_vertices
+        )
+        for pad in circ.pad_vertices:
+            assert placement.positions[pad] == expected[pad]
+
+    def test_beats_random_placement_on_hpwl(self, placed):
+        circ, placement = placed
+        rng = random.Random(0)
+        random_positions = [
+            (rng.uniform(0, 100), rng.uniform(0, 100))
+            for _ in range(circ.graph.num_vertices)
+        ]
+        random_placement = Placement(
+            die=placement.die,
+            positions=random_positions,
+            graph=circ.graph,
+            pad_vertices=circ.pad_vertices,
+        )
+        assert (
+            placement.half_perimeter_wirelength()
+            < 0.6 * random_placement.half_perimeter_wirelength()
+        )
+
+    def test_deterministic(self):
+        circ = generate_circuit(CircuitSpec(num_cells=120), seed=42)
+        a = place_circuit(circ, seed=3)
+        b = place_circuit(circ, seed=3)
+        assert a.positions == b.positions
+
+    def test_missing_pad_position_rejected(self):
+        circ = generate_circuit(CircuitSpec(num_cells=50), seed=43)
+        die = Rect(0, 0, 10, 10)
+        with pytest.raises(ValueError, match="no position"):
+            TopDownPlacer(
+                circ.graph,
+                die,
+                pad_positions={},
+                pad_vertices=circ.pad_vertices,
+            )
+
+    def test_leaf_size_config(self):
+        circ = generate_circuit(CircuitSpec(num_cells=60), seed=44)
+        placement = place_circuit(
+            circ,
+            config=PlacerConfig(leaf_size=30),
+            seed=1,
+        )
+        assert len(placement.positions) == circ.graph.num_vertices
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PlacerConfig(leaf_size=0)
+        with pytest.raises(ValueError):
+            PlacerConfig(tolerance=0.0)
+
+    def test_cells_spread_not_stacked(self, placed):
+        circ, placement = placed
+        cell_positions = {
+            placement.positions[v] for v in circ.cell_vertices
+        }
+        # Leaf grids may coincide occasionally; require broad spread.
+        assert len(cell_positions) > 0.8 * circ.num_cells
+
+    def test_hpwl_nonnegative(self, placed):
+        _, placement = placed
+        assert placement.half_perimeter_wirelength() >= 0.0

@@ -1,0 +1,162 @@
+"""Integration tests: end-to-end flows across subsystems."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    bipartition_instance,
+    cluster_terminals,
+    constraint_profile,
+    find_good_solution,
+    good_fixture,
+    make_schedule,
+)
+from repro.hypergraph import CircuitSpec, generate_circuit
+from repro.io import read_bookshelf, write_bookshelf, write_netd, read_netd
+from repro.partition import (
+    FREE,
+    FMBipartitioner,
+    FMConfig,
+    MultilevelBipartitioner,
+    block_loads,
+    cut_size,
+    multilevel_multistart,
+    random_balanced_bipartition,
+    relative_bipartition_balance,
+    respect_fixture,
+)
+from repro.placement import build_suite, place_circuit
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return generate_circuit(
+        CircuitSpec(num_cells=260, name="int260"), seed=99
+    )
+
+
+@pytest.fixture(scope="module")
+def balance(circuit):
+    return relative_bipartition_balance(circuit.graph.total_area, 0.02)
+
+
+class TestPaperPipeline:
+    """Generate -> find good -> fix -> repartition: Section II's loop."""
+
+    def test_good_regime_easy_with_many_terminals(self, circuit, balance):
+        g = circuit.graph
+        good = find_good_solution(g, balance, starts=4, seed=1)
+        schedule = make_schedule(g, seed=2)
+        fixture = good_fixture(schedule, 30.0, good.parts)
+        single = multilevel_multistart(
+            g, balance, fixture=fixture, num_starts=1, seed=3
+        )
+        # One start on a 30%-fixed good instance lands near the good cut.
+        assert single.best().cut <= max(good.cut * 2, good.cut + 6)
+
+    def test_cutoff_safe_with_terminals(self, circuit, balance):
+        g = circuit.graph
+        good = find_good_solution(g, balance, starts=2, seed=4)
+        schedule = make_schedule(g, seed=5)
+        fixture = good_fixture(schedule, 30.0, good.parts)
+        init = random_balanced_bipartition(
+            g, balance, fixture=fixture, rng=random.Random(6)
+        )
+        full = FMBipartitioner(g, balance, fixture=fixture).run(list(init))
+        tight = FMBipartitioner(
+            g,
+            balance,
+            fixture=fixture,
+            config=FMConfig(pass_move_limit_fraction=0.1),
+        ).run(list(init))
+        assert tight.total_moves < full.total_moves
+        assert tight.solution.cut <= full.solution.cut * 1.6 + 4
+
+    def test_terminal_clustering_preserves_engine_behaviour(
+        self, circuit, balance
+    ):
+        g = circuit.graph
+        rng = random.Random(7)
+        fixture = [FREE] * g.num_vertices
+        for v in rng.sample(range(g.num_vertices), 60):
+            fixture[v] = rng.randrange(2)
+        clustered = cluster_terminals(g, fixture)
+        engine = MultilevelBipartitioner(
+            clustered.graph,
+            balance=balance,
+            fixture=clustered.fixture,
+        )
+        result = engine.run(seed=8)
+        lifted = clustered.lift_partition(result.solution.parts)
+        assert respect_fixture(lifted, fixture)
+        assert cut_size(g, lifted) == result.solution.cut
+
+
+class TestBenchmarkPipeline:
+    """Place -> derive -> save -> load -> solve (Section IV end-to-end)."""
+
+    def test_full_roundtrip(self, circuit, tmp_path):
+        placement = place_circuit(circuit, seed=3)
+        suite = build_suite(circuit, "int260", placement=placement)
+        entry = suite.entries[0]
+        write_bookshelf(entry.instance, tmp_path)
+        loaded = read_bookshelf(tmp_path, entry.instance.name)
+        assert loaded.graph.structurally_equal(entry.instance.graph)
+
+        fixture = loaded.hard_fixture()
+        engine = MultilevelBipartitioner(
+            loaded.graph, balance=loaded.balance, fixture=fixture
+        )
+        result = engine.run(seed=9)
+        assert respect_fixture(result.solution.parts, fixture)
+        assert loaded.is_assignment_legal(result.solution.parts)
+        loads = block_loads(loaded.graph, result.solution.parts, 2)
+        assert loaded.balance.is_feasible(loads)
+
+    def test_constraint_profile_of_derived_instance(self, circuit):
+        placement = place_circuit(circuit, seed=4)
+        suite = build_suite(circuit, "int260", placement=placement)
+        deep = suite.entries[-1].instance
+        profile = constraint_profile(deep.graph, deep.hard_fixture())
+        assert profile.fixed_fraction > 0.05
+        assert profile.anchored_vertex_fraction > profile.fixed_fraction / 2
+
+
+class TestFormatsInterop:
+    def test_netd_to_engine(self, circuit, balance, tmp_path):
+        g = circuit.graph
+        write_netd(
+            g,
+            tmp_path / "c.net",
+            tmp_path / "c.are",
+            pad_vertices=circuit.pad_vertices,
+        )
+        g2, pads = read_netd(tmp_path / "c.net", tmp_path / "c.are")
+        balance2 = relative_bipartition_balance(g2.total_area, 0.02)
+        result = MultilevelBipartitioner(g2, balance=balance2).run(seed=1)
+        assert result.solution.verify_cut(g2)
+
+    def test_instance_to_bookshelf_and_back_solves_same(
+        self, circuit, tmp_path
+    ):
+        inst = bipartition_instance(
+            circuit.graph,
+            pad_vertices=circuit.pad_vertices,
+            name="roundtrip",
+        )
+        for pad in circuit.pad_vertices[:10]:
+            inst.fix_vertex(pad, pad % 2)
+        write_bookshelf(inst, tmp_path)
+        loaded = read_bookshelf(tmp_path, "roundtrip")
+        a = MultilevelBipartitioner(
+            inst.graph,
+            balance=inst.balance,
+            fixture=inst.hard_fixture(),
+        ).run(seed=5)
+        b = MultilevelBipartitioner(
+            loaded.graph,
+            balance=loaded.balance,
+            fixture=loaded.hard_fixture(),
+        ).run(seed=5)
+        assert a.solution.cut == b.solution.cut
