@@ -1,0 +1,89 @@
+"""Parallel-vs-serial smoke benchmark for the process-pool runtime.
+
+Runs the Fig. 1 quick difficulty sweep twice -- ``jobs=1`` and
+``jobs=4`` -- asserts the two studies are bit-identical (the runtime's
+determinism contract), and writes a ``BENCH_runtime.json`` artifact
+with the measured wall/CPU seconds and the speedup.
+
+Not collected by pytest (no ``test_`` prefix); run directly:
+
+    PYTHONPATH=src python benchmarks/runtime_smoke.py [out.json] [jobs]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from typing import List, Tuple
+
+from repro.experiments.figures import run_figure
+
+DEFAULT_JOBS = 4
+
+
+def _fingerprint(study) -> List[Tuple]:
+    """Everything result-bearing in a study, excluding the clocks."""
+    points = [
+        (p.regime, p.percent, p.starts, p.raw_cut, p.normalized_cut)
+        for p in study.points
+    ]
+    return [("good_cut", study.good_cut)] + points
+
+
+def _timed_run(jobs: int):
+    wall0 = time.perf_counter()
+    cpu0 = sum(os.times()[:4])  # self + children, user + system
+    study = run_figure("fig1", "quick", seed=0, jobs=jobs)
+    wall = time.perf_counter() - wall0
+    cpu = sum(os.times()[:4]) - cpu0
+    return study, wall, cpu
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    out_path = args[0] if args else "BENCH_runtime.json"
+    jobs = int(args[1]) if len(args) > 1 else DEFAULT_JOBS
+
+    cores = len(os.sched_getaffinity(0)) if hasattr(
+        os, "sched_getaffinity"
+    ) else os.cpu_count()
+
+    print(f"runtime smoke: fig1 quick sweep, serial vs jobs={jobs} "
+          f"({cores} core(s) available)")
+    serial_study, serial_wall, serial_cpu = _timed_run(jobs=1)
+    print(f"  jobs=1: {serial_wall:.2f}s wall, {serial_cpu:.2f}s CPU")
+    parallel_study, parallel_wall, parallel_cpu = _timed_run(jobs=jobs)
+    print(f"  jobs={jobs}: {parallel_wall:.2f}s wall, "
+          f"{parallel_cpu:.2f}s CPU")
+
+    identical = _fingerprint(serial_study) == _fingerprint(parallel_study)
+    speedup = serial_wall / parallel_wall if parallel_wall > 0 else 0.0
+    print(f"  identical results: {identical}, speedup: {speedup:.2f}x")
+
+    payload = {
+        "benchmark": "fig1-quick difficulty sweep",
+        "python": platform.python_version(),
+        "cpu_count": cores,
+        "jobs": jobs,
+        "serial_wall_seconds": round(serial_wall, 3),
+        "parallel_wall_seconds": round(parallel_wall, 3),
+        "serial_cpu_seconds": round(serial_cpu, 3),
+        "parallel_cpu_seconds": round(parallel_cpu, 3),
+        "speedup": round(speedup, 3),
+        "results_identical": identical,
+    }
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"  wrote {out_path}")
+
+    # The determinism contract is the point of the exercise; a speedup
+    # below 1 is expected on starved machines and is not a failure.
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

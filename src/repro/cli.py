@@ -24,12 +24,11 @@ from repro.core.instance import PartitioningInstance
 from repro.hypergraph import CircuitSpec, compute_stats, generate_circuit
 from repro.io import read_bookshelf, write_bookshelf, write_netd
 from repro.partition import (
-    FMBipartitioner,
     FMConfig,
-    MultilevelBipartitioner,
     block_loads,
-    kway_fm_partition,
-    random_balanced_bipartition,
+    flat_fm_multistart,
+    kway_multistart,
+    multilevel_multistart,
     relative_balance,
 )
 from repro.placement import build_suite, format_table, place_circuit
@@ -46,6 +45,15 @@ EXPERIMENTS = (
     "overconstrained",
     "suite-solutions",
 )
+
+
+def _jobs_arg(value: str) -> int:
+    jobs = int(value)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (0 = all cores), got {jobs}"
+        )
+    return jobs
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -80,6 +88,11 @@ def build_parser() -> argparse.ArgumentParser:
     part.add_argument("--engine", choices=ENGINES, default="multilevel")
     part.add_argument("--starts", type=int, default=1)
     part.add_argument("--seed", type=int, default=0)
+    part.add_argument(
+        "--jobs", type=_jobs_arg, default=1,
+        help="worker processes for independent starts "
+             "(0 = all cores; results are identical to --jobs 1)",
+    )
     part.add_argument(
         "--parts", type=int, default=None,
         help="override block count (kway engine only)",
@@ -126,6 +139,11 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument(
         "--profile", choices=("quick", "full"), default="quick"
     )
+    exp.add_argument(
+        "--jobs", type=_jobs_arg, default=1,
+        help="worker processes for independent starts/runs "
+             "(0 = all cores; results are identical to --jobs 1)",
+    )
     return parser
 
 
@@ -167,66 +185,56 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     instance = _load(args)
     graph = instance.graph
     fixture = instance.hard_fixture()
+    # Per-start seeds keep the historical ``seed + i`` convention, so a
+    # given command line prints the same cut at every --jobs value (and
+    # the same cut this CLI always printed).
+    start_seeds = [args.seed + i for i in range(args.starts)]
     t0 = time.perf_counter()
     if args.engine == "kway":
         num_parts = args.parts or instance.num_parts
         balance = relative_balance(graph.total_area, num_parts, 0.1)
-        best = None
-        for start in range(args.starts):
-            result = kway_fm_partition(
-                graph,
-                balance,
-                fixture=fixture if num_parts == instance.num_parts else None,
-                seed=args.seed + start,
-            )
-            if best is None or result.cut < best.cut:
-                best = result
-        parts, cut = best.parts, best.cut
+        batch = kway_multistart(
+            graph,
+            balance,
+            fixture=fixture if num_parts == instance.num_parts else None,
+            num_starts=args.starts,
+            seeds=start_seeds,
+            jobs=args.jobs,
+        )
     elif args.engine == "multilevel":
         if instance.num_parts != 2:
             print("multilevel engine is 2-way; use --engine kway")
             return 2
-        engine = MultilevelBipartitioner(
-            graph, balance=instance.balance, fixture=fixture
+        batch = multilevel_multistart(
+            graph,
+            instance.balance,
+            fixture=fixture,
+            num_starts=args.starts,
+            seeds=start_seeds,
+            jobs=args.jobs,
         )
-        best = None
-        for start in range(args.starts):
-            result = engine.run(seed=args.seed + start)
-            if best is None or result.solution.cut < best.solution.cut:
-                best = result
-        parts, cut = best.solution.parts, best.solution.cut
     else:  # flat FM
         if instance.num_parts != 2:
             print("fm engine is 2-way; use --engine kway")
             return 2
-        import random
-
-        engine = FMBipartitioner(
+        batch = flat_fm_multistart(
             graph,
             instance.balance,
             fixture=fixture,
             config=FMConfig(pass_move_limit_fraction=args.cutoff),
+            num_starts=args.starts,
+            seeds=start_seeds,
+            jobs=args.jobs,
         )
-        best_cut = None
-        parts = []
-        for start in range(args.starts):
-            init = random_balanced_bipartition(
-                graph,
-                instance.balance,
-                fixture=fixture,
-                rng=random.Random(args.seed + start),
-            )
-            result = engine.run(init)
-            if best_cut is None or result.solution.cut < best_cut:
-                best_cut = result.solution.cut
-                parts = result.solution.parts
-        cut = best_cut
+    best = batch.best()
+    parts, cut = best.parts, best.cut
     elapsed = time.perf_counter() - t0
 
     loads = block_loads(graph, parts, max(parts) + 1)
     print(
         f"{args.name}: cut {cut} with {args.engine} engine "
-        f"({args.starts} start(s), {elapsed:.2f}s)"
+        f"({args.starts} start(s), {elapsed:.2f}s wall, "
+        f"{batch.total_cpu_seconds():.2f}s CPU)"
     )
     print(
         "block loads: "
@@ -349,6 +357,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    jobs = str(args.jobs)
     if args.which == "table1":
         from repro.experiments.table1 import main as run
 
@@ -356,11 +365,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     elif args.which == "table2":
         from repro.experiments.table2 import main as run
 
-        run([args.profile])
+        run([args.profile, jobs])
     elif args.which == "table3":
         from repro.experiments.table3 import main as run
 
-        run([args.profile])
+        run([args.profile, jobs])
     elif args.which == "table4":
         from repro.experiments.table4 import main as run
 
@@ -368,15 +377,15 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     elif args.which in ("fig1", "fig2"):
         from repro.experiments.figures import main as run
 
-        run([args.which, args.profile])
+        run([args.which, args.profile, jobs])
     elif args.which == "multiway":
         from repro.experiments.multiway import main as run
 
-        run([args.profile])
+        run([args.profile, jobs])
     elif args.which == "suite-solutions":
         from repro.experiments.suite_solutions import main as run
 
-        run([args.profile])
+        run([args.profile, jobs])
     else:
         from repro.experiments.overconstrained import main as run
 

@@ -22,8 +22,60 @@ from repro.core.regimes import (
 )
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.partition.balance import BalanceConstraint
-from repro.partition.fm import FMBipartitioner, FMConfig
+from repro.partition.fm import FMBipartitioner, FMConfig, PassRecord
 from repro.partition.initial import random_balanced_bipartition
+from repro.runtime import parallel_map
+
+
+class _PassStatsRunTask:
+    """One random-start FM run per init seed (picklable for pools).
+
+    Returns ``(num_passes, final_cut, pass_records)`` -- everything the
+    aggregation needs, without shipping the parts vector back.
+    """
+
+    def __init__(
+        self,
+        graph: Hypergraph,
+        balance: BalanceConstraint,
+        fixture: Sequence[int],
+        policy: str,
+    ) -> None:
+        self.graph = graph
+        self.balance = balance
+        self.fixture = list(fixture)
+        self.policy = policy
+        self._engine: Optional[FMBipartitioner] = None
+
+    def __getstate__(self):
+        return (self.graph, self.balance, self.fixture, self.policy)
+
+    def __setstate__(self, state):
+        self.graph, self.balance, self.fixture, self.policy = state
+        self._engine = None
+
+    def __call__(
+        self, init_seed: int
+    ) -> Tuple[int, int, Tuple[PassRecord, ...]]:
+        if self._engine is None:
+            self._engine = FMBipartitioner(
+                self.graph,
+                self.balance,
+                fixture=self.fixture,
+                config=FMConfig(policy=self.policy),
+            )
+        init = random_balanced_bipartition(
+            self.graph,
+            self.balance,
+            fixture=self.fixture,
+            rng=random.Random(init_seed),
+        )
+        result = self._engine.run(init)
+        return (
+            result.num_passes,
+            result.solution.cut,
+            tuple(result.passes),
+        )
 
 
 @dataclass(frozen=True)
@@ -92,6 +144,7 @@ def run_pass_stats_study(
     schedule: Optional[FixedVertexSchedule] = None,
     good_solution: Optional[Sequence[int]] = None,
     policy: str = "lifo",
+    jobs: int = 1,
 ) -> PassStatsStudy:
     """Run Table II's measurement.
 
@@ -99,13 +152,15 @@ def run_pass_stats_study(
     the first pass"), which always moves many vertices because it starts
     from a random partitioning.  Runs whose FM took a single pass
     contribute to the pass count but not to the per-pass averages.
+    ``jobs > 1`` fans the independent runs over a process pool without
+    changing any statistic.
     """
     rng = random.Random(seed)
     if schedule is None:
         schedule = make_schedule(graph, seed=rng.getrandbits(32))
     if regime == "good" and good_solution is None:
         good_solution = find_good_solution(
-            graph, balance, seed=rng.getrandbits(32)
+            graph, balance, seed=rng.getrandbits(32), jobs=jobs
         ).parts
     rand_fix_seed = rng.getrandbits(32)
 
@@ -118,23 +173,18 @@ def run_pass_stats_study(
             good_solution=good_solution,
             seed=rand_fix_seed,
         )
-        engine = FMBipartitioner(
-            graph, balance, fixture=fixture, config=FMConfig(policy=policy)
-        )
+        task = _PassStatsRunTask(graph, balance, fixture, policy)
+        init_seeds = [rng.getrandbits(32) for _ in range(runs)]
+        outcomes = parallel_map(task, init_seeds, jobs=jobs)
         passes_per_run: List[int] = []
         moved: List[float] = []
         best_prefix: List[float] = []
         wasted: List[float] = []
         cuts: List[int] = []
-        for _ in range(runs):
-            init = random_balanced_bipartition(
-                graph, balance, fixture=fixture,
-                rng=random.Random(rng.getrandbits(32)),
-            )
-            result = engine.run(init)
-            passes_per_run.append(result.num_passes)
-            cuts.append(result.solution.cut)
-            for record in result.passes[1:]:
+        for num_passes, cut, records in outcomes:
+            passes_per_run.append(num_passes)
+            cuts.append(cut)
+            for record in records[1:]:
                 if record.movable == 0:
                     continue
                 moved.append(100.0 * record.moved_fraction)

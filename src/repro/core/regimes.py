@@ -139,6 +139,7 @@ def find_good_solution(
     starts: int = 8,
     seed: int = 0,
     config: Optional[MultilevelConfig] = None,
+    jobs: int = 1,
 ) -> Bipartition:
     """Best free-hypergraph solution over ``starts`` multilevel starts.
 
@@ -146,7 +147,8 @@ def find_good_solution(
     the normaliser of the good-regime traces in Figs. 1-2.
     """
     result = multilevel_multistart(
-        graph, balance, num_starts=starts, seed=seed, config=config
+        graph, balance, num_starts=starts, seed=seed, config=config,
+        jobs=jobs,
     )
     best = result.best()
     return Bipartition(parts=best.parts, cut=best.cut)

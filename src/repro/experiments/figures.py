@@ -71,9 +71,17 @@ PROFILES = {
 
 
 def run_figure(
-    figure: str = "fig1", profile: str = "quick", seed: int = 0
+    figure: str = "fig1",
+    profile: str = "quick",
+    seed: int = 0,
+    jobs: int = 1,
 ) -> DifficultyStudy:
-    """Run one figure's difficulty study."""
+    """Run one figure's difficulty study.
+
+    ``jobs > 1`` fans every batch's starts over a process pool; the
+    study is identical to a serial run (CPU columns are per-start
+    ``time.process_time``, so they do not depend on the pool size).
+    """
     key = (figure, profile)
     if key not in PROFILES:
         raise KeyError(f"unknown figure/profile {key}")
@@ -87,6 +95,7 @@ def run_figure(
         starts_list=spec.starts_list,
         trials=spec.trials,
         seed=seed,
+        jobs=jobs,
     )
 
 
@@ -162,7 +171,8 @@ def main(argv: Sequence[str] = ()) -> None:
     args = list(argv) or sys.argv[1:]
     figure = args[0] if args else "fig1"
     profile = args[1] if len(args) > 1 else "quick"
-    study = run_figure(figure, profile)
+    jobs = int(args[2]) if len(args) > 2 else 1
+    study = run_figure(figure, profile, jobs=jobs)
     text = format_study(study)
     text += "\n\n" + "\n".join(
         check(label, ok) for label, ok in shape_checks(study)

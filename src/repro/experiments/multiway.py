@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import random
 import sys
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
@@ -28,7 +27,7 @@ from repro.experiments.circuits import load_circuit
 from repro.experiments.reporting import check, emit
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.partition.balance import BalanceConstraint, relative_balance
-from repro.partition.kwayfm import kway_fm_partition
+from repro.partition.multistart import kway_multistart
 
 
 @dataclass(frozen=True)
@@ -101,19 +100,13 @@ def _find_good_kway(
     balance: BalanceConstraint,
     starts: int,
     seed: int,
+    jobs: int = 1,
 ) -> Tuple[List[int], int]:
-    rng = random.Random(seed)
-    best_parts = None
-    best_cut = 0
-    for _ in range(starts):
-        result = kway_fm_partition(
-            graph, balance, seed=rng.getrandbits(32)
-        )
-        if best_parts is None or result.cut < best_cut:
-            best_parts = result.parts
-            best_cut = result.cut
-    assert best_parts is not None
-    return best_parts, best_cut
+    batch = kway_multistart(
+        graph, balance, num_starts=starts, seed=seed, jobs=jobs
+    )
+    best = batch.best()
+    return best.parts, best.cut
 
 
 def run_multiway_study(
@@ -126,8 +119,14 @@ def run_multiway_study(
     trials: int = 3,
     seed: int = 0,
     schedule: FixedVertexSchedule = None,
+    jobs: int = 1,
 ) -> MultiwayStudy:
-    """Run the multiway difficulty study on one circuit."""
+    """Run the multiway difficulty study on one circuit.
+
+    ``jobs > 1`` fans the independent k-way starts of every trial over a
+    process pool; cuts are identical to the serial run and the CPU
+    column is per-start ``time.process_time``.
+    """
     if not starts_list or sorted(starts_list) != list(starts_list):
         raise ValueError("starts_list must be non-empty and ascending")
     balance = relative_balance(graph.total_area, num_parts, tolerance)
@@ -135,7 +134,7 @@ def run_multiway_study(
     if schedule is None:
         schedule = make_schedule(graph, seed=rng.getrandbits(32))
     good_parts, good_cut = _find_good_kway(
-        graph, balance, starts_list[-1], rng.getrandbits(32)
+        graph, balance, starts_list[-1], rng.getrandbits(32), jobs=jobs
     )
 
     study = MultiwayStudy(
@@ -172,18 +171,19 @@ def run_multiway_study(
                     for v, f in enumerate(fixture)
                 ]
             for _ in range(trials):
-                trial_cuts = []
-                trial_secs = []
-                for _ in range(max_starts):
-                    t0 = time.perf_counter()
-                    result = kway_fm_partition(
-                        graph,
-                        balance,
-                        fixture=fixture,
-                        seed=rng.getrandbits(32),
-                    )
-                    trial_secs.append(time.perf_counter() - t0)
-                    trial_cuts.append(result.cut)
+                start_seeds = [
+                    rng.getrandbits(32) for _ in range(max_starts)
+                ]
+                batch = kway_multistart(
+                    graph,
+                    balance,
+                    fixture=fixture,
+                    num_starts=max_starts,
+                    seeds=start_seeds,
+                    jobs=jobs,
+                )
+                trial_cuts = [s.cut for s in batch.starts]
+                trial_secs = [s.cpu_seconds for s in batch.starts]
                 for starts in starts_list:
                     key = (regime, percent, starts)
                     cuts.setdefault(key, []).append(
@@ -273,7 +273,9 @@ PROFILE_SETTINGS = {
 }
 
 
-def run_multiway(profile: str = "quick", seed: int = 0) -> MultiwayStudy:
+def run_multiway(
+    profile: str = "quick", seed: int = 0, jobs: int = 1
+) -> MultiwayStudy:
     """Profile wrapper used by the bench harness."""
     if profile not in PROFILE_SETTINGS:
         raise KeyError(f"unknown profile {profile!r}")
@@ -285,6 +287,7 @@ def run_multiway(profile: str = "quick", seed: int = 0) -> MultiwayStudy:
         trials=settings["trials"],
         starts_list=settings["starts"],
         seed=seed,
+        jobs=jobs,
     )
 
 
@@ -292,7 +295,8 @@ def main(argv: Sequence[str] = ()) -> None:
     """CLI entry point."""
     args = list(argv) or sys.argv[1:]
     profile = args[0] if args else "quick"
-    study = run_multiway(profile)
+    jobs = int(args[1]) if len(args) > 1 else 1
+    study = run_multiway(profile, jobs=jobs)
     text = study.format_table()
     text += "\n\n" + "\n".join(
         check(label, ok) for label, ok in shape_checks(study)

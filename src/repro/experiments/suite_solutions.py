@@ -74,7 +74,7 @@ class SolutionTable:
 
 
 def solve_suite(
-    suite: BenchmarkSuite, starts: int = 4, seed: int = 0
+    suite: BenchmarkSuite, starts: int = 4, seed: int = 0, jobs: int = 1
 ) -> SolutionTable:
     """Partition every instance of ``suite`` and tabulate the results."""
     table = SolutionTable(circuit_name=suite.circuit_name, starts=starts)
@@ -87,6 +87,7 @@ def solve_suite(
             fixture=fixture,
             num_starts=starts,
             seed=seed,
+            jobs=jobs,
         )
         free_batch = multilevel_multistart(
             instance.graph,
@@ -118,7 +119,7 @@ PROFILE_SETTINGS = {
 
 
 def run_suite_solutions(
-    profile: str = "quick", seed: int = 0
+    profile: str = "quick", seed: int = 0, jobs: int = 1
 ) -> List[SolutionTable]:
     """Build + solve the profile's suites."""
     if profile not in PROFILE_SETTINGS:
@@ -129,7 +130,9 @@ def run_suite_solutions(
         circuit = load_circuit(name)
         suite = build_suite(circuit, name, seed=seed)
         tables.append(
-            solve_suite(suite, starts=settings["starts"], seed=seed)
+            solve_suite(
+                suite, starts=settings["starts"], seed=seed, jobs=jobs
+            )
         )
     return tables
 
@@ -164,7 +167,8 @@ def main(argv: Sequence[str] = ()) -> None:
     """CLI entry point."""
     args = list(argv) or sys.argv[1:]
     profile = args[0] if args else "quick"
-    tables = run_suite_solutions(profile)
+    jobs = int(args[1]) if len(args) > 1 else 1
+    tables = run_suite_solutions(profile, jobs=jobs)
     text = "\n\n".join(t.format_table() for t in tables)
     text += "\n\n" + "\n".join(
         check(label, ok) for label, ok in shape_checks(tables)

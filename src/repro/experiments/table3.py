@@ -34,7 +34,7 @@ PROFILE_SETTINGS = {
 
 
 def run_table3(
-    profile: str = "quick", seed: int = 0
+    profile: str = "quick", seed: int = 0, jobs: int = 1
 ) -> Dict[str, CutoffStudy]:
     """Run the cutoff study for the profile's circuits."""
     if profile not in PROFILE_SETTINGS:
@@ -51,6 +51,7 @@ def run_table3(
             cutoffs=settings["cutoffs"],
             runs=settings["runs"],
             seed=seed,
+            jobs=jobs,
         )
     return studies
 
@@ -111,7 +112,8 @@ def main(argv: Sequence[str] = ()) -> None:
     """CLI entry point."""
     args = list(argv) or sys.argv[1:]
     profile = args[0] if args else "quick"
-    studies = run_table3(profile)
+    jobs = int(args[1]) if len(args) > 1 else 1
+    studies = run_table3(profile, jobs=jobs)
     blocks = []
     for study in studies.values():
         block = study.format_table()

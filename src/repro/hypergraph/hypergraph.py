@@ -11,11 +11,32 @@ of times.
 The structure is immutable after construction.  Mutating workflows
 (clustering, contraction) produce *new* hypergraphs via
 :mod:`repro.hypergraph.contraction`.
+
+Storage is :mod:`array`-module typed buffers rather than Python lists:
+a pin costs 8 bytes instead of a boxed ``int`` reference, and the whole
+structure round-trips through :meth:`Hypergraph.to_buffers` /
+:meth:`Hypergraph.from_buffers` as a handful of flat machine-typed
+blobs.  That round trip is also the pickle path (see ``__reduce__``),
+which keeps process-pool fan-out in :mod:`repro.runtime` cheap: workers
+receive compact buffers and skip all construction-time validation.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from array import array
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+_INDEX_TYPECODE = "q"
+_FLOAT_TYPECODE = "d"
 
 
 class HypergraphError(ValueError):
@@ -117,32 +138,34 @@ class Hypergraph:
                 vtx_nets[cursor[v]] = e
                 cursor[v] += 1
 
-        self._net_ptr = net_ptr
-        self._net_pins = net_pins
-        self._vtx_ptr = vtx_ptr
-        self._vtx_nets = vtx_nets
+        self._net_ptr = array(_INDEX_TYPECODE, net_ptr)
+        self._net_pins = array(_INDEX_TYPECODE, net_pins)
+        self._vtx_ptr = array(_INDEX_TYPECODE, vtx_ptr)
+        self._vtx_nets = array(_INDEX_TYPECODE, vtx_nets)
 
         if areas is None:
-            self._areas = [1.0] * num_vertices
+            self._areas = array(_FLOAT_TYPECODE, [1.0]) * num_vertices
         else:
             if len(areas) != num_vertices:
                 raise HypergraphError(
                     f"areas has length {len(areas)}, expected {num_vertices}"
                 )
-            self._areas = [float(a) for a in areas]
+            self._areas = array(_FLOAT_TYPECODE, (float(a) for a in areas))
             for v, a in enumerate(self._areas):
                 if a < 0:
                     raise HypergraphError(f"vertex {v} has negative area {a}")
 
         if net_weights is None:
-            self._net_weights = [1] * self._num_nets
+            self._net_weights = array(_INDEX_TYPECODE, [1]) * self._num_nets
         else:
             if len(net_weights) != self._num_nets:
                 raise HypergraphError(
                     f"net_weights has length {len(net_weights)}, "
                     f"expected {self._num_nets}"
                 )
-            self._net_weights = [int(w) for w in net_weights]
+            self._net_weights = array(
+                _INDEX_TYPECODE, (int(w) for w in net_weights)
+            )
             for e, w in enumerate(self._net_weights):
                 if w < 0:
                     raise HypergraphError(f"net {e} has negative weight {w}")
@@ -162,8 +185,10 @@ class Hypergraph:
                         f"extra resource {r} has length {len(vec)}, "
                         f"expected {num_vertices}"
                     )
-                checked.append([float(x) for x in vec])
-            self._extra_resources: Optional[List[List[float]]] = checked
+                checked.append(
+                    array(_FLOAT_TYPECODE, (float(x) for x in vec))
+                )
+            self._extra_resources: Optional[List[array]] = checked
         else:
             self._extra_resources = None
 
@@ -201,13 +226,17 @@ class Hypergraph:
     # ------------------------------------------------------------------
     # Pin access
     # ------------------------------------------------------------------
-    def net_pins(self, net: int) -> Sequence[int]:
-        """Vertices on ``net`` (a list slice; do not mutate)."""
-        return self._net_pins[self._net_ptr[net] : self._net_ptr[net + 1]]
+    def net_pins(self, net: int) -> List[int]:
+        """Vertices on ``net`` (a fresh list; safe to mutate)."""
+        return self._net_pins[
+            self._net_ptr[net] : self._net_ptr[net + 1]
+        ].tolist()
 
-    def vertex_nets(self, vertex: int) -> Sequence[int]:
-        """Nets incident to ``vertex`` (a list slice; do not mutate)."""
-        return self._vtx_nets[self._vtx_ptr[vertex] : self._vtx_ptr[vertex + 1]]
+    def vertex_nets(self, vertex: int) -> List[int]:
+        """Nets incident to ``vertex`` (a fresh list; safe to mutate)."""
+        return self._vtx_nets[
+            self._vtx_ptr[vertex] : self._vtx_ptr[vertex + 1]
+        ].tolist()
 
     def net_size(self, net: int) -> int:
         """Number of pins on ``net``."""
@@ -338,6 +367,90 @@ class Hypergraph:
         if self._net_weights != other._net_weights:
             return False
         return True
+
+    # ------------------------------------------------------------------
+    # Flat-buffer round trip (serialization / process fan-out)
+    # ------------------------------------------------------------------
+    def to_buffers(self) -> Dict[str, Any]:
+        """Flat-buffer view of the hypergraph.
+
+        Returns a dict of typed :class:`array.array` buffers plus the
+        scalar metadata needed to rebuild the structure without any
+        revalidation.  The buffers are the live internal arrays, *not*
+        copies -- callers must treat them as read-only, exactly like
+        the hypergraph itself.
+        """
+        return {
+            "num_vertices": self._num_vertices,
+            "net_ptr": self._net_ptr,
+            "net_pins": self._net_pins,
+            "vtx_ptr": self._vtx_ptr,
+            "vtx_nets": self._vtx_nets,
+            "areas": self._areas,
+            "net_weights": self._net_weights,
+            "vertex_names": self._vertex_names,
+            "net_names": self._net_names,
+            "extra_resources": self._extra_resources,
+        }
+
+    @classmethod
+    def from_buffers(cls, buffers: Dict[str, Any]) -> "Hypergraph":
+        """Rebuild a hypergraph from :meth:`to_buffers` output.
+
+        This is the fast path used by pickling and the process-pool
+        runtime: consistency of the CSR arrays is checked only at the
+        shape level (pointer lengths and pin-count agreement), not per
+        element -- buffers are trusted to come from ``to_buffers``.
+        """
+        graph = cls.__new__(cls)
+        num_vertices = int(buffers["num_vertices"])
+        net_ptr = _as_array(_INDEX_TYPECODE, buffers["net_ptr"])
+        net_pins = _as_array(_INDEX_TYPECODE, buffers["net_pins"])
+        vtx_ptr = _as_array(_INDEX_TYPECODE, buffers["vtx_ptr"])
+        vtx_nets = _as_array(_INDEX_TYPECODE, buffers["vtx_nets"])
+        areas = _as_array(_FLOAT_TYPECODE, buffers["areas"])
+        net_weights = _as_array(_INDEX_TYPECODE, buffers["net_weights"])
+        num_nets = len(net_ptr) - 1
+        if num_vertices < 0 or num_nets < 0:
+            raise HypergraphError("corrupt buffers: negative sizes")
+        if len(vtx_ptr) != num_vertices + 1:
+            raise HypergraphError("corrupt buffers: vtx_ptr length")
+        total_pins = net_ptr[-1] if num_nets else 0
+        if len(net_pins) != total_pins or len(vtx_nets) != total_pins:
+            raise HypergraphError("corrupt buffers: pin-count mismatch")
+        if len(areas) != num_vertices or len(net_weights) != num_nets:
+            raise HypergraphError("corrupt buffers: weight lengths")
+        graph._num_vertices = num_vertices
+        graph._num_nets = num_nets
+        graph._net_ptr = net_ptr
+        graph._net_pins = net_pins
+        graph._vtx_ptr = vtx_ptr
+        graph._vtx_nets = vtx_nets
+        graph._areas = areas
+        graph._net_weights = net_weights
+        vertex_names = buffers.get("vertex_names")
+        net_names = buffers.get("net_names")
+        graph._vertex_names = list(vertex_names) if vertex_names else None
+        graph._net_names = list(net_names) if net_names else None
+        extras = buffers.get("extra_resources")
+        if extras is not None:
+            graph._extra_resources = [
+                _as_array(_FLOAT_TYPECODE, vec) for vec in extras
+            ]
+        else:
+            graph._extra_resources = None
+        graph._total_area = sum(graph._areas)
+        return graph
+
+    def __reduce__(self):
+        return (Hypergraph.from_buffers, (self.to_buffers(),))
+
+
+def _as_array(typecode: str, values: Any) -> array:
+    """Coerce ``values`` to an :class:`array.array` of ``typecode``."""
+    if isinstance(values, array) and values.typecode == typecode:
+        return values
+    return array(typecode, values)
 
 
 def vertex_induced_subhypergraph(

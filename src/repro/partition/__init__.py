@@ -58,17 +58,15 @@ from repro.partition.multiresource import (
     multi_resource_initial,
 )
 from repro.partition.multistart import (
+    FlatFMStartTask,
+    KWayStartTask,
+    MultilevelStartTask,
     MultistartResult,
     StartOutcome,
     flat_fm_multistart,
+    kway_multistart,
     multilevel_multistart,
     run_multistart,
-)
-from repro.partition.spectral import (
-    fiedler_vector,
-    spectral_bipartition,
-    spectral_plus_fm,
-    sweep_cut,
 )
 from repro.partition.solution import (
     FREE,
@@ -87,9 +85,33 @@ from repro.partition.solution import (
     validate_fixture,
 )
 
+# The spectral baseline needs numpy/scipy, which are an optional extra
+# (``pip install repro[spectral]``); import it lazily so the core
+# package stays dependency-free.
+_SPECTRAL_EXPORTS = (
+    "fiedler_vector",
+    "spectral_bipartition",
+    "spectral_plus_fm",
+    "sweep_cut",
+)
+
+
+def __getattr__(name):
+    if name in _SPECTRAL_EXPORTS:
+        from repro.partition import spectral
+
+        return getattr(spectral, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
+
 __all__ = [
     "FREE",
     "BalanceConstraint",
+    "FlatFMStartTask",
+    "KWayStartTask",
+    "MultilevelStartTask",
     "Bipartition",
     "CoarseLevel",
     "CostFMBipartitioner",
@@ -129,6 +151,7 @@ __all__ = [
     "hamming_distance",
     "heavy_edge_matching",
     "kway_fm_partition",
+    "kway_multistart",
     "min_cut_cost_model",
     "total_cost",
     "movable_vertices",

@@ -5,12 +5,20 @@ starts and reports the best cut of each prefix.  Running 8 starts once
 and reading off best-of-first-{1,2,4,8} reproduces all four traces of a
 figure from a single batch, which is how :class:`MultistartResult` is
 meant to be consumed.
+
+Starts are independent, so the driver fans them out over a process pool
+when ``jobs > 1`` (see :mod:`repro.runtime`).  Per-start seeds are
+materialised up front from the same ``random.Random(seed)`` stream the
+serial loop always drew, and results are collected in seed order, so
+``jobs=N`` returns bit-identical cuts and parts to ``jobs=1``.  Only the
+clock readings differ between pool sizes -- which is why every outcome
+carries both wall-clock ``seconds`` and pool-size-invariant
+``cpu_seconds``.
 """
 
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
@@ -18,20 +26,28 @@ from repro.hypergraph.hypergraph import Hypergraph
 from repro.partition.balance import BalanceConstraint
 from repro.partition.fm import FMBipartitioner, FMConfig
 from repro.partition.initial import random_balanced_bipartition
+from repro.partition.kwayfm import KWayFMConfig, kway_fm_partition
 from repro.partition.multilevel import (
     MultilevelBipartitioner,
     MultilevelConfig,
 )
 from repro.partition.solution import Bipartition
+from repro.runtime import derive_start_seeds, parallel_map
 
 
 @dataclass
 class StartOutcome:
-    """Cut, solution and wall-clock seconds of one independent start."""
+    """Cut, solution and timing of one independent start.
+
+    ``seconds`` is wall-clock time; ``cpu_seconds`` is the executing
+    process's ``time.process_time`` and is what CPU-cost reporting
+    should use -- it does not change with the pool size.
+    """
 
     cut: int
     parts: List[int]
     seconds: float
+    cpu_seconds: float = 0.0
 
 
 @dataclass
@@ -61,6 +77,10 @@ class MultistartResult:
         """Total wall-clock time of all starts."""
         return sum(s.seconds for s in self.starts)
 
+    def total_cpu_seconds(self) -> float:
+        """Total CPU time of all starts (pool-size-invariant)."""
+        return sum(s.cpu_seconds for s in self.starts)
+
     def seconds_of_first(self, n: int) -> float:
         """Wall-clock time of the first ``n`` starts."""
         if not 1 <= n <= len(self.starts):
@@ -69,35 +89,153 @@ class MultistartResult:
             )
         return sum(s.seconds for s in self.starts[:n])
 
+    def cpu_seconds_of_first(self, n: int) -> float:
+        """CPU time of the first ``n`` starts (pool-size-invariant)."""
+        if not 1 <= n <= len(self.starts):
+            raise ValueError(
+                f"need 1 <= n <= {len(self.starts)}, got {n}"
+            )
+        return sum(s.cpu_seconds for s in self.starts[:n])
+
 
 def run_multistart(
     run_one: Callable[[int], Bipartition],
     num_starts: int,
     seed: int = 0,
+    jobs: int = 1,
+    seeds: Optional[Sequence[int]] = None,
 ) -> MultistartResult:
     """Execute ``run_one(seed_i)`` for ``num_starts`` derived seeds.
 
     ``run_one`` must be deterministic in its seed; seeds are drawn from a
     ``random.Random(seed)`` stream so batches are reproducible yet
-    independent across starts.
+    independent across starts.  ``seeds`` overrides the stream with an
+    explicit per-start seed list (the CLI uses this to preserve its
+    historical ``seed + i`` convention).
+
+    ``jobs > 1`` fans the starts over a process pool; ``run_one`` must
+    then be picklable (the engine wrappers below are).  Results are
+    identical to ``jobs=1`` by construction -- task ``i`` always runs
+    with seed ``i`` and outcomes are collected in seed order.
     """
     if num_starts < 1:
         raise ValueError("num_starts must be positive")
-    rng = random.Random(seed)
+    if seeds is None:
+        start_seeds: Sequence[int] = derive_start_seeds(seed, num_starts)
+    else:
+        if len(seeds) != num_starts:
+            raise ValueError(
+                f"seeds has length {len(seeds)}, expected {num_starts}"
+            )
+        start_seeds = list(seeds)
+
+    calls = parallel_map(run_one, start_seeds, jobs=jobs, timed=True)
     result = MultistartResult()
-    for _ in range(num_starts):
-        start_seed = rng.getrandbits(32)
-        t0 = time.perf_counter()
-        solution = run_one(start_seed)
-        seconds = time.perf_counter() - t0
+    for call in calls:
+        solution = call.value
         result.starts.append(
             StartOutcome(
                 cut=solution.cut,
                 parts=list(solution.parts),
-                seconds=seconds,
+                seconds=call.seconds,
+                cpu_seconds=call.cpu_seconds,
             )
         )
     return result
+
+
+class _EngineStartTask:
+    """Base for picklable per-seed start tasks.
+
+    The heavyweight engine is built lazily and cached per process --
+    once in the caller for the serial path, once per worker after the
+    pool initializer deserializes the task (the cache never crosses the
+    pickle boundary).
+    """
+
+    def __init__(
+        self,
+        graph: Hypergraph,
+        balance: BalanceConstraint,
+        fixture: Optional[Sequence[int]],
+        config: object,
+    ) -> None:
+        self.graph = graph
+        self.balance = balance
+        self.fixture = list(fixture) if fixture is not None else None
+        self.config = config
+        self._engine = None
+
+    def __getstate__(self):
+        return (self.graph, self.balance, self.fixture, self.config)
+
+    def __setstate__(self, state):
+        self.graph, self.balance, self.fixture, self.config = state
+        self._engine = None
+
+    def _build_engine(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    @property
+    def engine(self):
+        """The cached engine, built on first use."""
+        if self._engine is None:
+            self._engine = self._build_engine()
+        return self._engine
+
+
+class MultilevelStartTask(_EngineStartTask):
+    """One multilevel start per seed (picklable for process pools)."""
+
+    def _build_engine(self) -> MultilevelBipartitioner:
+        return MultilevelBipartitioner(
+            self.graph,
+            balance=self.balance,
+            fixture=self.fixture,
+            config=self.config,
+        )
+
+    def __call__(self, start_seed: int) -> Bipartition:
+        return self.engine.run(seed=start_seed).solution
+
+
+class FlatFMStartTask(_EngineStartTask):
+    """One flat-FM start from a random balanced construction per seed."""
+
+    def _build_engine(self) -> FMBipartitioner:
+        return FMBipartitioner(
+            self.graph,
+            self.balance,
+            fixture=self.fixture,
+            config=self.config,
+        )
+
+    def __call__(self, start_seed: int) -> Bipartition:
+        rng = random.Random(start_seed)
+        init = random_balanced_bipartition(
+            self.graph, self.balance, fixture=self.fixture, rng=rng
+        )
+        return self.engine.run(init).solution
+
+
+class KWayStartTask(_EngineStartTask):
+    """One construct-and-refine k-way start per seed."""
+
+    def _build_engine(self) -> None:
+        return None
+
+    def __call__(self, start_seed: int):
+        return kway_fm_partition(
+            self.graph,
+            self.balance,
+            fixture=self.fixture,
+            config=self.config,
+            seed=start_seed,
+        )
+
+    @property
+    def engine(self):  # k-way has no reusable engine object
+        return None
 
 
 def multilevel_multistart(
@@ -107,16 +245,12 @@ def multilevel_multistart(
     config: Optional[MultilevelConfig] = None,
     num_starts: int = 1,
     seed: int = 0,
+    jobs: int = 1,
+    seeds: Optional[Sequence[int]] = None,
 ) -> MultistartResult:
     """Multistart over the multilevel engine."""
-    engine = MultilevelBipartitioner(
-        graph, balance=balance, fixture=fixture, config=config
-    )
-
-    def run_one(start_seed: int) -> Bipartition:
-        return engine.run(seed=start_seed).solution
-
-    return run_multistart(run_one, num_starts, seed=seed)
+    task = MultilevelStartTask(graph, balance, fixture, config)
+    return run_multistart(task, num_starts, seed=seed, jobs=jobs, seeds=seeds)
 
 
 def flat_fm_multistart(
@@ -126,15 +260,24 @@ def flat_fm_multistart(
     config: Optional[FMConfig] = None,
     num_starts: int = 1,
     seed: int = 0,
+    jobs: int = 1,
+    seeds: Optional[Sequence[int]] = None,
 ) -> MultistartResult:
     """Multistart over flat FM from random balanced constructions."""
-    engine = FMBipartitioner(graph, balance, fixture=fixture, config=config)
+    task = FlatFMStartTask(graph, balance, fixture, config)
+    return run_multistart(task, num_starts, seed=seed, jobs=jobs, seeds=seeds)
 
-    def run_one(start_seed: int) -> Bipartition:
-        rng = random.Random(start_seed)
-        init = random_balanced_bipartition(
-            graph, balance, fixture=fixture, rng=rng
-        )
-        return engine.run(init).solution
 
-    return run_multistart(run_one, num_starts, seed=seed)
+def kway_multistart(
+    graph: Hypergraph,
+    balance: BalanceConstraint,
+    fixture: Optional[Sequence[int]] = None,
+    config: Optional[KWayFMConfig] = None,
+    num_starts: int = 1,
+    seed: int = 0,
+    jobs: int = 1,
+    seeds: Optional[Sequence[int]] = None,
+) -> MultistartResult:
+    """Multistart over the flat k-way construct-and-refine engine."""
+    task = KWayStartTask(graph, balance, fixture, config)
+    return run_multistart(task, num_starts, seed=seed, jobs=jobs, seeds=seeds)

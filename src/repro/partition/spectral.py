@@ -15,9 +15,17 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
-from scipy.sparse import coo_matrix
-from scipy.sparse.linalg import eigsh
+try:
+    import numpy as np
+    from scipy.sparse import coo_matrix
+    from scipy.sparse.linalg import eigsh
+except ImportError as _exc:  # pragma: no cover - depends on environment
+    raise ImportError(
+        "the spectral baseline requires numpy and scipy, which are an "
+        "optional extra of this package; install them with "
+        "`pip install repro[spectral]` (or `pip install numpy scipy`). "
+        "All other engines are pure-stdlib and unaffected."
+    ) from _exc
 
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.partition.balance import BalanceConstraint

@@ -1,0 +1,38 @@
+"""Process-parallel execution runtime.
+
+The paper's empirical protocol -- trials x starts x fixed-percent sweep
+points -- is embarrassingly parallel.  This package provides the one
+execution layer every harness in the repo shares:
+
+* :func:`derive_start_seeds` -- the deterministic per-task seed stream
+  (identical to what the serial drivers always drew, so ``jobs=N``
+  reproduces the serial results bit for bit);
+* :func:`parallel_map` -- ordered map over picklable tasks backed by a
+  ``ProcessPoolExecutor``, with a serial fallback at ``jobs=1`` (and
+  whenever a pool cannot be created at all);
+* :func:`resolve_jobs` -- normalisation of the ``jobs`` knob
+  (``0``/``None`` means "all available cores");
+* :class:`TimedCall` / :func:`timed_call` -- wall-clock *and* CPU-time
+  measurement of one task, taken inside the worker so CPU columns stay
+  pool-size-invariant.
+
+See ``docs/performance.md`` for the determinism contract.
+"""
+
+from repro.runtime.pool import (
+    SerialFallbackWarning,
+    parallel_map,
+    resolve_jobs,
+)
+from repro.runtime.seeds import derive_start_seeds, spawn_seed
+from repro.runtime.timing import TimedCall, timed_call
+
+__all__ = [
+    "SerialFallbackWarning",
+    "TimedCall",
+    "derive_start_seeds",
+    "parallel_map",
+    "resolve_jobs",
+    "spawn_seed",
+    "timed_call",
+]

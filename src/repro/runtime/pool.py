@@ -1,0 +1,129 @@
+"""Ordered process-pool map with a deterministic serial fallback.
+
+:func:`parallel_map` is the single fan-out primitive of the repo.  Its
+contract:
+
+* results come back in *input order*, regardless of completion order;
+* the task object is shipped to each worker exactly once (via the pool
+  initializer), so a task carrying a large hypergraph pays one
+  flat-buffer serialization per worker, not one per item;
+* ``jobs=1`` runs inline with zero pool machinery, and any environment
+  where a process pool cannot be created or fed (sandboxes without
+  ``fork``/semaphores, unpicklable closures) degrades to the same
+  serial path with a :class:`SerialFallbackWarning` -- results are
+  identical either way, only the wall clock changes.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.runtime.timing import timed_call
+
+
+class SerialFallbackWarning(RuntimeWarning):
+    """Emitted when a requested process pool degrades to serial."""
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise the ``jobs`` knob.
+
+    ``None`` or ``0`` means "one worker per available core" (respecting
+    CPU affinity masks where the platform exposes them); any positive
+    value is taken literally.
+    """
+    if jobs is None or jobs == 0:
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except AttributeError:  # pragma: no cover - non-Linux
+            return max(1, os.cpu_count() or 1)
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+# Per-worker state, installed once by the pool initializer.  Globals are
+# the standard ProcessPoolExecutor idiom for worker-lifetime caches: the
+# task (and the hypergraph buffers inside it) is deserialized once per
+# worker process instead of once per submitted item.
+_WORKER_TASK: Optional[Callable[[Any], Any]] = None
+_WORKER_TIMED = False
+
+
+def _init_worker(task: Callable[[Any], Any], timed: bool) -> None:
+    global _WORKER_TASK, _WORKER_TIMED
+    _WORKER_TASK = task
+    _WORKER_TIMED = timed
+
+
+def _run_item(item: Any) -> Any:
+    assert _WORKER_TASK is not None, "worker initializer did not run"
+    if _WORKER_TIMED:
+        return timed_call(_WORKER_TASK, item)
+    return _WORKER_TASK(item)
+
+
+def _serial_map(
+    task: Callable[[Any], Any], items: Sequence[Any], timed: bool
+) -> List[Any]:
+    if timed:
+        return [timed_call(task, item) for item in items]
+    return [task(item) for item in items]
+
+
+def parallel_map(
+    task: Callable[[Any], Any],
+    items: Sequence[Any],
+    jobs: int = 1,
+    timed: bool = False,
+) -> List[Any]:
+    """``[task(item) for item in items]``, fanned over ``jobs`` processes.
+
+    ``task`` must be picklable (a module-level function or a dataclass
+    instance with module-level class) when ``jobs > 1``; per-item work
+    must be deterministic in the item alone, which is what makes the
+    output independent of ``jobs``.  With ``timed=True`` each result is
+    wrapped in a :class:`repro.runtime.timing.TimedCall` measured inside
+    the executing process.
+
+    Exceptions raised *by the task* propagate to the caller; failures of
+    the pool machinery itself trigger a serial re-run (the task contract
+    makes re-execution safe).
+    """
+    jobs = resolve_jobs(jobs)
+    items = list(items)
+    jobs = min(jobs, len(items)) or 1
+    if jobs <= 1:
+        return _serial_map(task, items, timed)
+
+    try:
+        payload = pickle.dumps(task)
+    except Exception as exc:  # noqa: BLE001 - any pickling failure
+        warnings.warn(
+            f"task {task!r} is not picklable ({exc}); running serially",
+            SerialFallbackWarning,
+            stacklevel=2,
+        )
+        return _serial_map(task, items, timed)
+    del payload
+
+    chunksize = max(1, len(items) // (jobs * 4))
+    try:
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_init_worker,
+            initargs=(task, timed),
+        ) as pool:
+            return list(pool.map(_run_item, items, chunksize=chunksize))
+    except (BrokenProcessPool, OSError, PermissionError) as exc:
+        warnings.warn(
+            f"process pool unavailable ({exc}); running serially",
+            SerialFallbackWarning,
+            stacklevel=2,
+        )
+        return _serial_map(task, items, timed)

@@ -1,0 +1,35 @@
+"""Per-task timing captured inside the executing process.
+
+Wall-clock seconds stop being a CPU-cost proxy the moment starts run
+concurrently, so every task is timed with *both* clocks where it runs:
+
+* ``seconds`` -- ``time.perf_counter`` wall clock;
+* ``cpu_seconds`` -- ``time.process_time`` of the executing process,
+  which is invariant under pool size and is what the paper's CPU-time
+  traces (Figs. 1-2, Table III) should report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class TimedCall:
+    """Return value and both clock readings of one task execution."""
+
+    value: Any
+    seconds: float
+    cpu_seconds: float
+
+
+def timed_call(fn: Callable[..., Any], *args: Any) -> TimedCall:
+    """Run ``fn(*args)`` and measure wall and CPU time around it."""
+    cpu0 = time.process_time()
+    t0 = time.perf_counter()
+    value = fn(*args)
+    seconds = time.perf_counter() - t0
+    cpu_seconds = time.process_time() - cpu0
+    return TimedCall(value=value, seconds=seconds, cpu_seconds=cpu_seconds)

@@ -1,0 +1,96 @@
+"""Unit tests for the process-parallel runtime primitives."""
+
+import random
+
+import pytest
+
+from repro.runtime import (
+    SerialFallbackWarning,
+    TimedCall,
+    derive_start_seeds,
+    parallel_map,
+    resolve_jobs,
+    timed_call,
+)
+
+
+def _square(x):
+    return x * x
+
+
+class TestSeeds:
+    def test_matches_serial_stream(self):
+        rng = random.Random(42)
+        expected = [rng.getrandbits(32) for _ in range(10)]
+        assert derive_start_seeds(42, 10) == expected
+
+    def test_prefix_property(self):
+        assert derive_start_seeds(7, 8)[:3] == derive_start_seeds(7, 3)
+
+    def test_empty_and_negative(self):
+        assert derive_start_seeds(0, 0) == []
+        with pytest.raises(ValueError):
+            derive_start_seeds(0, -1)
+
+
+class TestResolveJobs:
+    def test_literal(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(5) == 5
+
+    def test_auto(self):
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+
+
+class TestParallelMap:
+    def test_serial_identity(self):
+        assert parallel_map(_square, [1, 2, 3], jobs=1) == [1, 4, 9]
+
+    def test_parallel_matches_serial_in_order(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, jobs=2) == [
+            _square(i) for i in items
+        ]
+
+    def test_empty_items(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+    def test_timed_wraps_results(self):
+        calls = parallel_map(_square, [3], jobs=1, timed=True)
+        assert isinstance(calls[0], TimedCall)
+        assert calls[0].value == 9
+        assert calls[0].seconds >= 0.0
+        assert calls[0].cpu_seconds >= 0.0
+
+    def test_unpicklable_task_falls_back_serially(self):
+        captured = []
+
+        def closure(x):  # closures cannot cross a process boundary
+            captured.append(x)
+            return x + 1
+
+        with pytest.warns(SerialFallbackWarning):
+            out = parallel_map(closure, [1, 2], jobs=2)
+        assert out == [2, 3]
+        assert captured == [1, 2]
+
+    def test_task_exception_propagates(self):
+        with pytest.raises(ZeroDivisionError):
+            parallel_map(_reciprocal, [1, 0], jobs=2)
+
+
+def _reciprocal(x):
+    return 1 / x
+
+
+class TestTimedCall:
+    def test_value_and_clocks(self):
+        call = timed_call(_square, 6)
+        assert call.value == 36
+        assert call.seconds >= 0.0
+        assert call.cpu_seconds >= 0.0
