@@ -26,6 +26,10 @@ from repro.partition.fm import (
     FMResult,
     PassRecord,
 )
+from repro.partition.fm_reference import (
+    ReferenceFMBipartitioner,
+    ReferenceKWayFMRefiner,
+)
 from repro.partition.gainbucket import GainBucket
 from repro.partition.initial import (
     greedy_bfs_bipartition,
@@ -38,6 +42,7 @@ from repro.partition.kwayfm import (
     KWayFMConfig,
     KWayFMRefiner,
     KWayFMResult,
+    kway_balanced_construction,
     kway_fm_partition,
 )
 from repro.partition.matching import (
@@ -135,6 +140,8 @@ __all__ = [
     "MultilevelResult",
     "MultistartResult",
     "PassRecord",
+    "ReferenceFMBipartitioner",
+    "ReferenceKWayFMRefiner",
     "StartOutcome",
     "absolute_balance",
     "annealing_baseline",
@@ -150,6 +157,7 @@ __all__ = [
     "greedy_bfs_bipartition",
     "hamming_distance",
     "heavy_edge_matching",
+    "kway_balanced_construction",
     "kway_fm_partition",
     "kway_multistart",
     "min_cut_cost_model",

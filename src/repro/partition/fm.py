@@ -18,10 +18,41 @@ neighbours exactly as propagated terminals do in top-down placement.
 Section III's pass-cutoff heuristic is the ``pass_move_limit_fraction``
 knob: every pass after the first stops once that fraction of the movable
 vertices has moved.
+
+Kernel layout
+-------------
+
+The inner loop is a flat-array kernel.  The engine owns persistent
+:mod:`array`-module typed buffers -- per-side net pin counts
+(``_cnt0/_cnt1``), per-side pin-id sums (``_ids0/_ids1``), per-side
+unlocked-free-pin counts (``_uf0/_uf1``) and the per-vertex exact gains
+(``_gain``) -- plus one reusable :class:`GainBucket` per side.  The
+invariants:
+
+* Between passes, ``cnt``/``ids``/``uf`` and ``gain`` are exact with
+  respect to ``parts``.  A pass mutates them move by move and the
+  end-of-pass rollback restores them *incrementally* by replaying the
+  undone moves backwards with the same delta-gain formulas, so pass
+  setup is O(movable) bucket inserts instead of the historical
+  O(pins) count-and-gain rebuild.
+* ``ids0[e]``/``ids1[e]`` hold the sum of pin ids of net ``e`` on each
+  side; when a side's pin count is 1 the id sum *is* the unique pin, so
+  the single-pin gain update is O(1) instead of a scan of ``epins[e]``.
+* ``uf0[e]``/``uf1[e]`` count net ``e``'s movable, not-yet-moved pins
+  per side; when both are zero a whole-net gain update can skip all
+  bucket bookkeeping (the locked pins only need their gain scalar kept
+  current for the next pass).
+
+The kernel preserves the *exact* move sequence of the straightforward
+implementation retained in :mod:`repro.partition.fm_reference`: same
+moves in the same order, same pass records, same cuts, bit for bit.
+``tests/partition/test_fm_kernel_differential.py`` enforces this and
+``benchmarks/fm_kernel.py`` measures the speedup.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -45,6 +76,9 @@ literature (the paper's Table II reports ~6); the cap only guards
 against pathological non-termination.
 """
 
+_NIL = -2
+"""GainBucket link terminator, mirrored here for the inlined hot loop."""
+
 
 @dataclass(frozen=True)
 class FMConfig:
@@ -53,11 +87,14 @@ class FMConfig:
     ``pass_move_limit_fraction`` below 1.0 enables the paper's Section III
     cutoff: passes after the first stop once ``fraction * movable`` moves
     have been made.  ``max_passes < 0`` means "until no improvement".
+    ``record_moves`` keeps the full per-pass move sequence on the result
+    (used by the differential tests and the kernel benchmark).
     """
 
     policy: str = "lifo"
     max_passes: int = -1
     pass_move_limit_fraction: float = 1.0
+    record_moves: bool = False
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -105,6 +142,9 @@ class FMResult:
     solution: Bipartition
     passes: List[PassRecord] = field(default_factory=list)
     initial_cut: int = 0
+    move_logs: List[List[int]] = field(default_factory=list)
+    """Per-pass move sequences (pre-rollback); filled only when the
+    config sets ``record_moves``."""
 
     @property
     def num_passes(self) -> int:
@@ -125,7 +165,14 @@ _QualityKey = Tuple[int, float, float]
 
 
 class FMBipartitioner:
-    """Reusable FM engine bound to one (graph, balance, fixture) triple."""
+    """Reusable FM engine bound to one (graph, balance, fixture) triple.
+
+    The engine carries persistent pass state (see the module docstring);
+    every :meth:`run` re-derives that state from its initial assignment,
+    so one engine instance can serve any number of runs -- including
+    interleaved runs from multistart drivers -- as long as they are
+    sequential.
+    """
 
     def __init__(
         self,
@@ -158,6 +205,7 @@ class FMBipartitioner:
         self._movable: List[int] = [
             v for v in range(n) if self.fixture[v] == FREE
         ]
+        self._free_mask: List[bool] = [f == FREE for f in self.fixture]
         self._max_gain = max(
             (
                 sum(self._eweight[e] for e in self._vnets[v])
@@ -178,17 +226,61 @@ class FMBipartitioner:
             default=0.0,
         )
 
+        # Persistent kernel buffers.  cnt/ids are fully overwritten by
+        # _init_run_state; uf needs a zero template; gain is per-vertex.
+        num_nets = graph.num_nets
+        self._zero_nets = array("q", [0]) * num_nets
+        self._cnt0 = array("q", [0]) * num_nets
+        self._cnt1 = array("q", [0]) * num_nets
+        self._ids0 = array("q", [0]) * num_nets
+        self._ids1 = array("q", [0]) * num_nets
+        self._uf0 = array("q", [0]) * num_nets
+        self._uf1 = array("q", [0]) * num_nets
+        self._gain = array("q", [0]) * n
+
+        # Pass-start snapshots for the cheaper-direction restore: when a
+        # pass keeps fewer moves than it undoes, restoring the snapshot
+        # (C-speed slice copies) and replaying the kept prefix forward
+        # beats replaying the undone suffix backwards.
+        self._snap_cnt0 = array("q", [0]) * num_nets
+        self._snap_cnt1 = array("q", [0]) * num_nets
+        self._snap_ids0 = array("q", [0]) * num_nets
+        self._snap_ids1 = array("q", [0]) * num_nets
+        self._snap_uf0 = array("q", [0]) * num_nets
+        self._snap_uf1 = array("q", [0]) * num_nets
+        self._snap_gain = array("q", [0]) * n
+        self._snap_parts: List[int] = [0] * n
+
+        # One reusable bucket per side; reset() per pass instead of two
+        # fresh allocations.  CLIP keys are accumulated updates, whose
+        # magnitude is bounded by 2 * max_gain (see GainBucket.adjust).
+        limit = (
+            2 * self._max_gain
+            if self.config.policy == "clip"
+            else self._max_gain
+        )
+        self._buckets = (GainBucket(n, limit), GainBucket(n, limit))
+        self._bucket_limit = limit
+
     @property
     def num_movable(self) -> int:
         """Number of free vertices."""
         return len(self._movable)
 
     # ------------------------------------------------------------------
-    def run(self, initial_parts: Sequence[int]) -> FMResult:
+    def run(
+        self,
+        initial_parts: Sequence[int],
+        initial_cut: Optional[int] = None,
+    ) -> FMResult:
         """Improve ``initial_parts`` and return the best solution found.
 
         Fixed vertices are forced onto their mandated side before the
         first pass, so any initial assignment for them is tolerated.
+        ``initial_cut`` lets a caller that already knows the exact cut of
+        ``initial_parts`` (e.g. the multilevel driver, whose projections
+        preserve the cut) skip the O(pins) ``cut_size`` evaluation; it is
+        trusted, so it must be exact.
         """
         graph = self.graph
         n = graph.num_vertices
@@ -205,21 +297,28 @@ class FMBipartitioner:
         loads = [0.0, 0.0]
         for v in range(n):
             loads[parts[v]] += self._areas[v]
-        cut = cut_size(graph, parts)
+        cut = cut_size(graph, parts) if initial_cut is None else initial_cut
         result = FMResult(
             solution=Bipartition(parts=parts, cut=cut), initial_cut=cut
         )
         if not self._movable:
             return result
 
+        self._init_run_state(parts)
+
         max_passes = self.config.max_passes
         if max_passes < 0:
             max_passes = _HARD_PASS_CAP
+        record_moves = self.config.record_moves
         pass_index = 0
         while pass_index < max_passes:
             key_before = self._progress_key(cut, loads)
-            record, cut = self._run_pass(parts, loads, cut, pass_index)
+            record, cut, move_log = self._run_pass(
+                parts, loads, cut, pass_index
+            )
             result.passes.append(record)
+            if record_moves:
+                result.move_logs.append(move_log)
             pass_index += 1
             # Another pass is justified only by a cut improvement (or a
             # violation reduction while infeasible).  Imbalance alone is
@@ -232,57 +331,179 @@ class FMBipartitioner:
         return result
 
     # ------------------------------------------------------------------
+    def _init_run_state(self, parts: List[int]) -> None:
+        """Derive cnt/ids/uf/gain from ``parts`` (once per run).
+
+        Subsequent passes keep these buffers exact incrementally: moves
+        update them forward, the rollback replays the undone moves
+        backwards, so no per-pass rebuild is needed.
+        """
+        cnt0 = self._cnt0
+        cnt1 = self._cnt1
+        ids0 = self._ids0
+        ids1 = self._ids1
+        epins = self._epins
+        for e in range(len(epins)):
+            c0 = 0
+            s0 = 0
+            c1 = 0
+            s1 = 0
+            for v in epins[e]:
+                if parts[v]:
+                    c1 += 1
+                    s1 += v
+                else:
+                    c0 += 1
+                    s0 += v
+            cnt0[e] = c0
+            cnt1[e] = c1
+            ids0[e] = s0
+            ids1[e] = s1
+
+        uf0 = self._uf0
+        uf1 = self._uf1
+        uf0[:] = self._zero_nets
+        uf1[:] = self._zero_nets
+        vnets = self._vnets
+        eweight = self._eweight
+        gain = self._gain
+        for v in self._movable:
+            vn = vnets[v]
+            g = 0
+            if parts[v]:
+                for e in vn:
+                    uf1[e] += 1
+                    w = eweight[e]
+                    if cnt1[e] == 1:
+                        g += w
+                    if cnt0[e] == 0:
+                        g -= w
+            else:
+                for e in vn:
+                    uf0[e] += 1
+                    w = eweight[e]
+                    if cnt0[e] == 1:
+                        g += w
+                    if cnt1[e] == 0:
+                        g -= w
+            gain[v] = g
+
+    # ------------------------------------------------------------------
     def _run_pass(
         self,
         parts: List[int],
         loads: List[float],
         cut: int,
         pass_index: int,
-    ) -> Tuple[PassRecord, int]:
-        """One FM pass; leaves ``parts``/``loads`` at the best prefix."""
-        graph = self.graph
+    ) -> Tuple[PassRecord, int, List[int]]:
+        """One FM pass; leaves ``parts``/``loads`` at the best prefix.
+
+        This is the kernel: bucket links, pin counts and gains are
+        manipulated through pre-bound local references, and the
+        single-pin / whole-net gain updates use the id-sum and
+        unlocked-count buffers described in the module docstring.
+        """
         epins = self._epins
         eweight = self._eweight
         vnets = self._vnets
         areas = self._areas
+        gain = self._gain
+        free = self._free_mask
+        cnt0 = self._cnt0
+        cnt1 = self._cnt1
+        ids0 = self._ids0
+        ids1 = self._ids1
+        uf0 = self._uf0
+        uf1 = self._uf1
         clip = self.config.policy == "clip"
         fifo = self.config.policy == "fifo"
 
-        # Net pin counts per side.
-        num_nets = graph.num_nets
-        cnt = [[0, 0] for _ in range(num_nets)]
-        for e in range(num_nets):
-            c = cnt[e]
-            for v in epins[e]:
-                c[parts[v]] += 1
+        # Snapshot the pass-start net/gain state (C-speed slice copies).
+        # The end-of-pass restore then picks the cheaper direction:
+        # replay the undone suffix backwards, or restore the snapshot
+        # and replay the kept prefix forwards.  Final passes keep
+        # nothing, so their restore collapses to the copies alone.
+        snap_cnt0 = self._snap_cnt0
+        snap_cnt1 = self._snap_cnt1
+        snap_ids0 = self._snap_ids0
+        snap_ids1 = self._snap_ids1
+        snap_uf0 = self._snap_uf0
+        snap_uf1 = self._snap_uf1
+        snap_gain = self._snap_gain
+        snap_parts = self._snap_parts
+        snap_cnt0[:] = cnt0
+        snap_cnt1[:] = cnt1
+        snap_ids0[:] = ids0
+        snap_ids1[:] = ids1
+        snap_uf0[:] = uf0
+        snap_uf1[:] = uf1
+        snap_gain[:] = gain
+        snap_parts[:] = parts
 
-        # Actual gains of all movable vertices.
-        gain = [0] * graph.num_vertices
-        for v in self._movable:
-            s = parts[v]
-            g = 0
-            for e in vnets[v]:
-                c = cnt[e]
-                w = eweight[e]
-                if c[s] == 1:
-                    g += w
-                if c[1 - s] == 0:
-                    g -= w
-            gain[v] = g
+        b0, b1 = self._buckets
+        b0.reset()
+        b1.reset()
 
-        limit = 2 * self._max_gain if clip else self._max_gain
-        buckets = (
-            GainBucket(graph.num_vertices, limit),
-            GainBucket(graph.num_vertices, limit),
-        )
+        # Local views of the bucket internals for the inlined hot loop.
+        # Writes go through these shared lists; the scalar max/count
+        # state lives in the two small lists below and is written back
+        # to the bucket objects before returning.
+        limit = self._bucket_limit
+        h0, t0, p0, n0 = b0._head, b0._tail, b0._prev, b0._next
+        k0, pr0 = b0._key, b0._present
+        h1, t1, p1, n1 = b1._head, b1._tail, b1._prev, b1._next
+        k1, pr1 = b1._key, b1._present
+        maxi = [-1, -1]
+        counts = [0, 0]
+        NIL = _NIL
+
+        # Pass-start inserts, inlined (fresh LIFO head pushes into the
+        # just-reset buckets).  CLIP keys start at 0, inserted in
+        # ascending actual-gain order so the LIFO head of the zero
+        # bucket pops best-gain-first.
         if clip:
-            # CLIP keys start at 0; insert in ascending actual-gain order
-            # so the LIFO head of the zero bucket pops best-gain-first.
-            for v in sorted(self._movable, key=lambda u: gain[u]):
-                buckets[parts[v]].insert(v, 0)
+            order = sorted(self._movable, key=gain.__getitem__)
         else:
-            for v in self._movable:
-                buckets[parts[v]].insert(v, gain[v])
+            order = self._movable
+        c0 = 0
+        c1 = 0
+        for v in order:
+            if clip:
+                key = 0
+                idx = limit
+            else:
+                key = gain[v]
+                idx = key + limit
+            if parts[v]:
+                oh = h1[idx]
+                n1[v] = oh
+                p1[v] = NIL
+                if oh != NIL:
+                    p1[oh] = v
+                else:
+                    t1[idx] = v
+                h1[idx] = v
+                k1[v] = key
+                pr1[v] = True
+                c1 += 1
+                if idx > maxi[1]:
+                    maxi[1] = idx
+            else:
+                oh = h0[idx]
+                n0[v] = oh
+                p0[v] = NIL
+                if oh != NIL:
+                    p0[oh] = v
+                else:
+                    t0[idx] = v
+                h0[idx] = v
+                k0[v] = key
+                pr0[v] = True
+                c0 += 1
+                if idx > maxi[0]:
+                    maxi[0] = idx
+        counts[0] = c0
+        counts[1] = c1
 
         movable_count = len(self._movable)
         if pass_index == 0 or self.config.pass_move_limit_fraction >= 1.0:
@@ -292,59 +513,710 @@ class FMBipartitioner:
                 1, int(self.config.pass_move_limit_fraction * movable_count)
             )
 
+        balance = self.balance
+        mn0, mn1 = balance.min_loads[0], balance.min_loads[1]
+        mx0, mx1 = balance.max_loads[0], balance.max_loads[1]
+
+        slack = self._escape_slack
+        start0 = t0 if fifo else h0
+        start1 = t1 if fifo else h1
+        nav0 = p0 if fifo else n0
+        nav1 = p1 if fifo else n1
+
         cut_before = cut
         move_log: List[int] = []
+        log_append = move_log.append
+        nmoves = 0
         best_prefix = 0
         best_cut = cut
-        best_key = self._quality_key(cut, loads)
+        # Scalar-decomposed _QualityKey of the best prefix so far (the
+        # per-move comparison avoids tuple allocation).
+        bk_state, bk_a, bk_b = self._quality_key(cut, loads)
+        l0 = loads[0]
+        l1 = loads[1]
 
-        while len(move_log) < move_limit:
-            v = self._select_move(buckets, loads, fifo)
-            if v is None:
+        while nmoves < move_limit:
+            # ---- selection (inlined _select_move) -------------------
+            # The balance gate is fully inlined: strict feasibility,
+            # then violation reduction (the "before" pair violation is
+            # loop-invariant per side and hoisted), then the escape
+            # hatch off the heavier side.  Must stay equivalent to
+            # _move_allowed.
+            best_v = -1
+            best_sel_key = 0
+            best_side = 0
+            # Side 0 scan (first feasible vertex of the best bucket).
+            idx = maxi[0]
+            if idx >= 0:
+                before = 0.0
+                if l0 < mn0:
+                    before = mn0 - l0
+                elif l0 > mx0:
+                    before = l0 - mx0
+                if l1 < mn1:
+                    before += mn1 - l1
+                elif l1 > mx1:
+                    before += l1 - mx1
+                hatch_ok = l0 >= l1
+                while idx >= 0:
+                    v = start0[idx]
+                    while v != NIL:
+                        av = areas[v]
+                        ns = l0 - av
+                        nt = l1 + av
+                        if mn0 <= ns <= mx0 and mn1 <= nt <= mx1:
+                            break
+                        after = 0.0
+                        if ns < mn0:
+                            after = mn0 - ns
+                        elif ns > mx0:
+                            after = ns - mx0
+                        if nt < mn1:
+                            after += mn1 - nt
+                        elif nt > mx1:
+                            after += nt - mx1
+                        if after < before or (hatch_ok and after <= slack):
+                            break
+                        v = nav0[v]
+                    if v != NIL:
+                        best_v = v
+                        best_sel_key = idx - limit
+                        break
+                    idx -= 1
+            # Side 1 scan; buckets strictly below side 0's best key are
+            # pruned, equal keys tie-break to the heavier source side.
+            idx = maxi[1]
+            if idx >= 0 and not (best_v >= 0 and idx - limit < best_sel_key):
+                before = 0.0
+                if l1 < mn1:
+                    before = mn1 - l1
+                elif l1 > mx1:
+                    before = l1 - mx1
+                if l0 < mn0:
+                    before += mn0 - l0
+                elif l0 > mx0:
+                    before += l0 - mx0
+                hatch_ok = l1 >= l0
+                while idx >= 0:
+                    if best_v >= 0 and idx - limit < best_sel_key:
+                        break
+                    v = start1[idx]
+                    while v != NIL:
+                        av = areas[v]
+                        ns = l1 - av
+                        nt = l0 + av
+                        if mn1 <= ns <= mx1 and mn0 <= nt <= mx0:
+                            break
+                        after = 0.0
+                        if ns < mn1:
+                            after = mn1 - ns
+                        elif ns > mx1:
+                            after = ns - mx1
+                        if nt < mn0:
+                            after += mn0 - nt
+                        elif nt > mx0:
+                            after += nt - mx0
+                        if after < before or (hatch_ok and after <= slack):
+                            break
+                        v = nav1[v]
+                    if v != NIL:
+                        key = idx - limit
+                        if (
+                            best_v < 0
+                            or key > best_sel_key
+                            or (key == best_sel_key and l1 > l0)
+                        ):
+                            best_v = v
+                            best_side = 1
+                            best_sel_key = key
+                        break
+                    idx -= 1
+            if best_v < 0:
                 break
-            s = parts[v]
+            v = best_v
+            s = best_side
             t = 1 - s
-            buckets[s].remove(v)  # lock v for the rest of the pass
-            cut -= gain[v]
 
-            # Standard FM delta-gain propagation around each net of v.
-            # ``v`` itself is locked (absent from the buckets) so the
-            # bulk update skips it; the single-pin update must skip it
-            # explicitly because parts[v] is stale until after the loop.
+            # Per-side views for the remove and the delta propagation
+            # (source-side bucket arrays unsuffixed, target-side with a
+            # trailing underscore).
+            if s:
+                hd, tl, pv, nx, ky = h1, t1, p1, n1, k1
+                ht_, tt_, pt_, nt_, kt_ = h0, t0, p0, n0, k0
+                cs_, ct_ = cnt1, cnt0
+                iss_, ist_ = ids1, ids0
+                ufs_ = uf1
+                pres_s, pres_t = pr1, pr0
+            else:
+                hd, tl, pv, nx, ky = h0, t0, p0, n0, k0
+                ht_, tt_, pt_, nt_, kt_ = h1, t1, p1, n1, k1
+                cs_, ct_ = cnt0, cnt1
+                iss_, ist_ = ids0, ids1
+                ufs_ = uf0
+                pres_s, pres_t = pr0, pr1
+
+            # ---- lock v: inlined bucket remove ----------------------
+            idx = ky[v] + limit
+            pu = pv[v]
+            nu = nx[v]
+            if pu != NIL:
+                nx[pu] = nu
+            else:
+                hd[idx] = nu
+            if nu != NIL:
+                pv[nu] = pu
+            else:
+                tl[idx] = pu
+            pres_s[v] = False
+            c = counts[s] - 1
+            counts[s] = c
+            if c == 0:
+                maxi[s] = -1
+            elif idx == maxi[s] and hd[idx] == NIL:
+                m = idx
+                while m >= 0 and hd[m] == NIL:
+                    m -= 1
+                maxi[s] = m
+
+            gv = gain[v]
+            cut -= gv
+
+            # ---- delta-gain propagation around each net of v --------
+            # ``v`` itself is locked, so gain updates skip it; its own
+            # gain flips sign exactly (the move reverses every one of
+            # its net contributions).
+            # Bucket adjusts are inlined and sign-specialized: a +w
+            # adjust can only raise the max index (if the source bucket
+            # was the max, the destination is higher still), a -w adjust
+            # can only lower it (walk down when the max bucket empties).
             for e in vnets[v]:
-                c = cnt[e]
+                ufs_[e] -= 1  # v is no longer an unlocked pin of e
                 w = eweight[e]
                 if w:
-                    if c[t] == 0:
-                        self._bump_all_free(e, w, gain, buckets, parts)
-                    elif c[t] == 1:
-                        self._bump_single(e, t, -w, gain, buckets, parts, v)
-                c[s] -= 1
-                c[t] += 1
+                    ct = ct_[e]
+                    # ct == 0 means the net lies entirely on the source
+                    # side, so cs equals the net size: cs == 2 is the
+                    # dominant two-pin-net case, where the other pin is
+                    # the id-sum minus v -- no epins scan at all.
+                    cs2 = cs_[e] if ct == 0 else 0
+                    if cs2 == 2:
+                        u = iss_[e] - v
+                        if free[u]:
+                            gain[u] += w
+                            if parts[u]:
+                                if pr1[u]:
+                                    kk = k1[u]
+                                    idxo = kk + limit
+                                    pu = p1[u]
+                                    nu = n1[u]
+                                    if pu != NIL:
+                                        n1[pu] = nu
+                                    else:
+                                        h1[idxo] = nu
+                                    if nu != NIL:
+                                        p1[nu] = pu
+                                    else:
+                                        t1[idxo] = pu
+                                    idx2 = idxo + w
+                                    oh = h1[idx2]
+                                    n1[u] = oh
+                                    p1[u] = NIL
+                                    if oh != NIL:
+                                        p1[oh] = u
+                                    else:
+                                        t1[idx2] = u
+                                    h1[idx2] = u
+                                    k1[u] = kk + w
+                                    if idx2 > maxi[1]:
+                                        maxi[1] = idx2
+                            elif pr0[u]:
+                                kk = k0[u]
+                                idxo = kk + limit
+                                pu = p0[u]
+                                nu = n0[u]
+                                if pu != NIL:
+                                    n0[pu] = nu
+                                else:
+                                    h0[idxo] = nu
+                                if nu != NIL:
+                                    p0[nu] = pu
+                                else:
+                                    t0[idxo] = pu
+                                idx2 = idxo + w
+                                oh = h0[idx2]
+                                n0[u] = oh
+                                p0[u] = NIL
+                                if oh != NIL:
+                                    p0[oh] = u
+                                else:
+                                    t0[idx2] = u
+                                h0[idx2] = u
+                                k0[u] = kk + w
+                                if idx2 > maxi[0]:
+                                    maxi[0] = idx2
+                    elif cs2 > 2:
+                        pins = epins[e]
+                        if uf0[e] or uf1[e]:
+                            for u in pins:
+                                if u != v and free[u]:
+                                    gain[u] += w
+                                    if parts[u]:
+                                        if pr1[u]:
+                                            kk = k1[u]
+                                            idxo = kk + limit
+                                            pu = p1[u]
+                                            nu = n1[u]
+                                            if pu != NIL:
+                                                n1[pu] = nu
+                                            else:
+                                                h1[idxo] = nu
+                                            if nu != NIL:
+                                                p1[nu] = pu
+                                            else:
+                                                t1[idxo] = pu
+                                            idx2 = idxo + w
+                                            oh = h1[idx2]
+                                            n1[u] = oh
+                                            p1[u] = NIL
+                                            if oh != NIL:
+                                                p1[oh] = u
+                                            else:
+                                                t1[idx2] = u
+                                            h1[idx2] = u
+                                            k1[u] = kk + w
+                                            if idx2 > maxi[1]:
+                                                maxi[1] = idx2
+                                    elif pr0[u]:
+                                        kk = k0[u]
+                                        idxo = kk + limit
+                                        pu = p0[u]
+                                        nu = n0[u]
+                                        if pu != NIL:
+                                            n0[pu] = nu
+                                        else:
+                                            h0[idxo] = nu
+                                        if nu != NIL:
+                                            p0[nu] = pu
+                                        else:
+                                            t0[idxo] = pu
+                                        idx2 = idxo + w
+                                        oh = h0[idx2]
+                                        n0[u] = oh
+                                        p0[u] = NIL
+                                        if oh != NIL:
+                                            p0[oh] = u
+                                        else:
+                                            t0[idx2] = u
+                                        h0[idx2] = u
+                                        k0[u] = kk + w
+                                        if idx2 > maxi[0]:
+                                            maxi[0] = idx2
+                        else:
+                            for u in pins:
+                                if u != v and free[u]:
+                                    gain[u] += w
+                    elif ct == 1:
+                        u = ist_[e]
+                        if free[u]:
+                            gain[u] -= w
+                            if pres_t[u]:
+                                kk = kt_[u]
+                                idxo = kk + limit
+                                pu = pt_[u]
+                                nu = nt_[u]
+                                if pu != NIL:
+                                    nt_[pu] = nu
+                                else:
+                                    ht_[idxo] = nu
+                                if nu != NIL:
+                                    pt_[nu] = pu
+                                else:
+                                    tt_[idxo] = pu
+                                idx2 = idxo - w
+                                oh = ht_[idx2]
+                                nt_[u] = oh
+                                pt_[u] = NIL
+                                if oh != NIL:
+                                    pt_[oh] = u
+                                else:
+                                    tt_[idx2] = u
+                                ht_[idx2] = u
+                                kt_[u] = kk - w
+                                if idxo == maxi[t] and ht_[idxo] == NIL:
+                                    m = idxo
+                                    while ht_[m] == NIL:
+                                        m -= 1
+                                    maxi[t] = m
+                cs_[e] -= 1
+                ct_[e] += 1
+                iss_[e] -= v
+                ist_[e] += v
                 if w:
-                    if c[s] == 0:
-                        self._bump_all_free(e, -w, gain, buckets, parts)
-                    elif c[s] == 1:
-                        self._bump_single(e, s, w, gain, buckets, parts, v)
+                    cs = cs_[e]
+                    # cs == 0 means the net now lies entirely on the
+                    # target side (ct includes v), so ct == 2 is again
+                    # the two-pin-net case with an O(1) other-pin.
+                    ct2 = ct_[e] if cs == 0 else 0
+                    if ct2 == 2:
+                        u = ist_[e] - v
+                        if free[u]:
+                            gain[u] -= w
+                            if parts[u]:
+                                if pr1[u]:
+                                    kk = k1[u]
+                                    idxo = kk + limit
+                                    pu = p1[u]
+                                    nu = n1[u]
+                                    if pu != NIL:
+                                        n1[pu] = nu
+                                    else:
+                                        h1[idxo] = nu
+                                    if nu != NIL:
+                                        p1[nu] = pu
+                                    else:
+                                        t1[idxo] = pu
+                                    idx2 = idxo - w
+                                    oh = h1[idx2]
+                                    n1[u] = oh
+                                    p1[u] = NIL
+                                    if oh != NIL:
+                                        p1[oh] = u
+                                    else:
+                                        t1[idx2] = u
+                                    h1[idx2] = u
+                                    k1[u] = kk - w
+                                    if (
+                                        idxo == maxi[1]
+                                        and h1[idxo] == NIL
+                                    ):
+                                        m = idxo
+                                        while h1[m] == NIL:
+                                            m -= 1
+                                        maxi[1] = m
+                            elif pr0[u]:
+                                kk = k0[u]
+                                idxo = kk + limit
+                                pu = p0[u]
+                                nu = n0[u]
+                                if pu != NIL:
+                                    n0[pu] = nu
+                                else:
+                                    h0[idxo] = nu
+                                if nu != NIL:
+                                    p0[nu] = pu
+                                else:
+                                    t0[idxo] = pu
+                                idx2 = idxo - w
+                                oh = h0[idx2]
+                                n0[u] = oh
+                                p0[u] = NIL
+                                if oh != NIL:
+                                    p0[oh] = u
+                                else:
+                                    t0[idx2] = u
+                                h0[idx2] = u
+                                k0[u] = kk - w
+                                if (
+                                    idxo == maxi[0]
+                                    and h0[idxo] == NIL
+                                ):
+                                    m = idxo
+                                    while h0[m] == NIL:
+                                        m -= 1
+                                    maxi[0] = m
+                    elif ct2 > 2:
+                        pins = epins[e]
+                        if uf0[e] or uf1[e]:
+                            for u in pins:
+                                if u != v and free[u]:
+                                    gain[u] -= w
+                                    if parts[u]:
+                                        if pr1[u]:
+                                            kk = k1[u]
+                                            idxo = kk + limit
+                                            pu = p1[u]
+                                            nu = n1[u]
+                                            if pu != NIL:
+                                                n1[pu] = nu
+                                            else:
+                                                h1[idxo] = nu
+                                            if nu != NIL:
+                                                p1[nu] = pu
+                                            else:
+                                                t1[idxo] = pu
+                                            idx2 = idxo - w
+                                            oh = h1[idx2]
+                                            n1[u] = oh
+                                            p1[u] = NIL
+                                            if oh != NIL:
+                                                p1[oh] = u
+                                            else:
+                                                t1[idx2] = u
+                                            h1[idx2] = u
+                                            k1[u] = kk - w
+                                            if (
+                                                idxo == maxi[1]
+                                                and h1[idxo] == NIL
+                                            ):
+                                                m = idxo
+                                                while h1[m] == NIL:
+                                                    m -= 1
+                                                maxi[1] = m
+                                    elif pr0[u]:
+                                        kk = k0[u]
+                                        idxo = kk + limit
+                                        pu = p0[u]
+                                        nu = n0[u]
+                                        if pu != NIL:
+                                            n0[pu] = nu
+                                        else:
+                                            h0[idxo] = nu
+                                        if nu != NIL:
+                                            p0[nu] = pu
+                                        else:
+                                            t0[idxo] = pu
+                                        idx2 = idxo - w
+                                        oh = h0[idx2]
+                                        n0[u] = oh
+                                        p0[u] = NIL
+                                        if oh != NIL:
+                                            p0[oh] = u
+                                        else:
+                                            t0[idx2] = u
+                                        h0[idx2] = u
+                                        k0[u] = kk - w
+                                        if (
+                                            idxo == maxi[0]
+                                            and h0[idxo] == NIL
+                                        ):
+                                            m = idxo
+                                            while h0[m] == NIL:
+                                                m -= 1
+                                            maxi[0] = m
+                        else:
+                            for u in pins:
+                                if u != v and free[u]:
+                                    gain[u] -= w
+                    elif cs == 1:
+                        u = iss_[e]
+                        if free[u]:
+                            gain[u] += w
+                            if pres_s[u]:
+                                kk = ky[u]
+                                idxo = kk + limit
+                                pu = pv[u]
+                                nu = nx[u]
+                                if pu != NIL:
+                                    nx[pu] = nu
+                                else:
+                                    hd[idxo] = nu
+                                if nu != NIL:
+                                    pv[nu] = pu
+                                else:
+                                    tl[idxo] = pu
+                                idx2 = idxo + w
+                                oh = hd[idx2]
+                                nx[u] = oh
+                                pv[u] = NIL
+                                if oh != NIL:
+                                    pv[oh] = u
+                                else:
+                                    tl[idx2] = u
+                                hd[idx2] = u
+                                ky[u] = kk + w
+                                if idx2 > maxi[s]:
+                                    maxi[s] = idx2
 
             parts[v] = t
-            loads[s] -= areas[v]
-            loads[t] += areas[v]
-            move_log.append(v)
+            gain[v] = -gv
+            av = areas[v]
+            if s:
+                l1 -= av
+                l0 += av
+            else:
+                l0 -= av
+                l1 += av
+            log_append(v)
+            nmoves += 1
 
-            key = self._quality_key(cut, loads)
-            if key < best_key:
-                best_key = key
+            # ---- inlined _quality_key + best-prefix tracking --------
+            viol = 0.0
+            if l0 < mn0:
+                viol = mn0 - l0
+            elif l0 > mx0:
+                viol = l0 - mx0
+            if l1 < mn1:
+                viol += mn1 - l1
+            elif l1 > mx1:
+                viol += l1 - mx1
+            if viol == 0.0:
+                state = 0
+                a = cut
+                b = l0 - l1 if l0 >= l1 else l1 - l0
+            else:
+                state = 1
+                a = viol
+                b = cut
+            if state < bk_state or (
+                state == bk_state
+                and (a < bk_a or (a == bk_a and b < bk_b))
+            ):
+                bk_state = state
+                bk_a = a
+                bk_b = b
                 best_cut = cut
-                best_prefix = len(move_log)
+                best_prefix = nmoves
 
+        loads[0] = l0
+        loads[1] = l1
+
+        # Write the scalar bucket state back so reset() stays coherent.
+        b0._max_index, b1._max_index = maxi
+        b0._count, b1._count = counts
+
+        # ---- restore the best prefix (cheaper direction) ------------
+        # Each undo is itself a move, so the same delta formulas restore
+        # cnt/ids/gain exactly; buckets are left alone (next pass resets
+        # them) so only the gain scalars are updated here.  When the
+        # pass keeps fewer moves than it undoes, it is cheaper to copy
+        # the pass-start snapshot back and replay the kept prefix
+        # forwards instead.
         moves_made = len(move_log)
-        for v in reversed(move_log[best_prefix:]):
-            t = parts[v]
-            s = 1 - t
-            parts[v] = s
-            loads[t] -= areas[v]
-            loads[s] += areas[v]
+        if best_prefix <= moves_made - best_prefix:
+            # Loads are floats of arbitrary vertex areas, so they must
+            # be unwound with the same backward delta arithmetic the
+            # reference uses (addition is not associative); two flops
+            # per undone move, no net traversal.  Each vertex moves at
+            # most once per pass, so the snapshot side is the source.
+            for v in reversed(move_log[best_prefix:]):
+                av = areas[v]
+                if snap_parts[v]:
+                    l0 -= av
+                    l1 += av
+                else:
+                    l1 -= av
+                    l0 += av
+            loads[0] = l0
+            loads[1] = l1
+            cnt0[:] = snap_cnt0
+            cnt1[:] = snap_cnt1
+            ids0[:] = snap_ids0
+            ids1[:] = snap_ids1
+            uf0[:] = snap_uf0
+            uf1[:] = snap_uf1
+            gain[:] = snap_gain
+            parts[:] = snap_parts
+            for i in range(best_prefix):
+                v = move_log[i]
+                s = parts[v]
+                t = 1 - s
+                cs_ = cnt1 if s else cnt0
+                ct_ = cnt0 if s else cnt1
+                iss_ = ids1 if s else ids0
+                ist_ = ids0 if s else ids1
+                ufs_ = uf1 if s else uf0
+                uft_ = uf0 if s else uf1
+                for e in vnets[v]:
+                    w = eweight[e]
+                    if w:
+                        ct = ct_[e]
+                        cs2 = cs_[e] if ct == 0 else 0
+                        if cs2 == 2:
+                            u = iss_[e] - v
+                            if free[u]:
+                                gain[u] += w
+                        elif cs2 > 2:
+                            for u in epins[e]:
+                                if u != v and free[u]:
+                                    gain[u] += w
+                        elif ct == 1:
+                            u = ist_[e]
+                            if free[u]:
+                                gain[u] -= w
+                    cs_[e] -= 1
+                    ct_[e] += 1
+                    iss_[e] -= v
+                    ist_[e] += v
+                    if w:
+                        cs = cs_[e]
+                        ct2 = ct_[e] if cs == 0 else 0
+                        if ct2 == 2:
+                            u = ist_[e] - v
+                            if free[u]:
+                                gain[u] -= w
+                        elif ct2 > 2:
+                            for u in epins[e]:
+                                if u != v and free[u]:
+                                    gain[u] -= w
+                        elif cs == 1:
+                            u = iss_[e]
+                            if free[u]:
+                                gain[u] += w
+                    # v lives unlocked on its kept side from now on.
+                    ufs_[e] -= 1
+                    uft_[e] += 1
+                parts[v] = t
+                gain[v] = -gain[v]
+        else:
+            for v in reversed(move_log[best_prefix:]):
+                t = parts[v]
+                s = 1 - t
+                # v moves from t back to s: source views bind to t,
+                # destination views to s.
+                csrc = cnt1 if t else cnt0
+                cdst = cnt0 if t else cnt1
+                isrc = ids1 if t else ids0
+                idst = ids0 if t else ids1
+                ufdst = uf0 if t else uf1
+                for e in vnets[v]:
+                    w = eweight[e]
+                    if w:
+                        cd = cdst[e]
+                        cr2 = csrc[e] if cd == 0 else 0
+                        if cr2 == 2:
+                            u = isrc[e] - v
+                            if free[u]:
+                                gain[u] += w
+                        elif cr2 > 2:
+                            for u in epins[e]:
+                                if u != v and free[u]:
+                                    gain[u] += w
+                        elif cd == 1:
+                            u = idst[e]
+                            if free[u]:
+                                gain[u] -= w
+                    csrc[e] -= 1
+                    cdst[e] += 1
+                    isrc[e] -= v
+                    idst[e] += v
+                    if w:
+                        cr = csrc[e]
+                        cd2 = cdst[e] if cr == 0 else 0
+                        if cd2 == 2:
+                            u = idst[e] - v
+                            if free[u]:
+                                gain[u] -= w
+                        elif cd2 > 2:
+                            for u in epins[e]:
+                                if u != v and free[u]:
+                                    gain[u] -= w
+                        elif cr == 1:
+                            u = isrc[e]
+                            if free[u]:
+                                gain[u] += w
+                    ufdst[e] += 1  # v unlocks on its restored side
+                parts[v] = s
+                gain[v] = -gain[v]
+                av = areas[v]
+                loads[t] -= av
+                loads[s] += av
+
+            # Kept-prefix vertices stay on their new side; unlock there.
+            for i in range(best_prefix):
+                v = move_log[i]
+                ufp = uf1 if parts[v] else uf0
+                for e in vnets[v]:
+                    ufp[e] += 1
         cut = best_cut
 
         record = PassRecord(
@@ -356,7 +1228,7 @@ class FMBipartitioner:
             cut_after=cut,
             feasible_after=self.balance.is_feasible(loads),
         )
-        return record, cut
+        return record, cut, move_log
 
     # ------------------------------------------------------------------
     def _quality_key(self, cut: int, loads: Sequence[float]) -> _QualityKey:
@@ -375,43 +1247,10 @@ class FMBipartitioner:
             return (0, float(cut))
         return (1, violation)
 
-    def _select_move(
-        self,
-        buckets: Tuple[GainBucket, GainBucket],
-        loads: List[float],
-        fifo: bool,
-    ) -> Optional[int]:
-        """Best feasible move across both sides.
-
-        Each side's buckets are scanned in descending key order for the
-        first vertex whose move the balance constraint allows; the second
-        side's scan prunes once its keys drop below the first side's
-        candidate.  Gain ties go to the heavier side.
-        """
-        areas = self._areas
-        best_v: Optional[int] = None
-        best_side = -1
-        best_key = 0
-        for side in (0, 1):
-            bucket = buckets[side]
-            for v in bucket.iter_descending(fifo=fifo):
-                key = bucket.key_of(v)
-                if best_v is not None and key < best_key:
-                    break
-                if self._move_allowed(loads, areas[v], side, 1 - side):
-                    if (
-                        best_v is None
-                        or key > best_key
-                        or (key == best_key and loads[side] > loads[best_side])
-                    ):
-                        best_v, best_side, best_key = v, side, key
-                    break
-        return best_v
-
     def _move_allowed(
         self, loads: List[float], weight: float, source: int, target: int
     ) -> bool:
-        """Balance gate for one move.
+        """Balance gate for one move (slow path).
 
         Strictly feasible or violation-reducing moves are always allowed
         (see :meth:`BalanceConstraint.allows_move`).  Additionally, a
@@ -421,6 +1260,10 @@ class FMBipartitioner:
         window, and without this hatch FM would deadlock at the first
         tight bisection.  The pass rollback still restores the best
         *feasible* prefix, so final solutions never rely on the hatch.
+
+        The selection loop inlines the strictly-feasible fast path and
+        only falls back here, so this method must stay equivalent to
+        "allows_move or escape hatch".
         """
         if self.balance.allows_move(loads, weight, source, target):
             return True
@@ -432,39 +1275,3 @@ class FMBipartitioner:
             for i, load in enumerate(loads)
         ]
         return self.balance.violation(after) <= self._escape_slack
-
-    def _bump_all_free(
-        self,
-        e: int,
-        delta: int,
-        gain: List[int],
-        buckets: Tuple[GainBucket, GainBucket],
-        parts: List[int],
-    ) -> None:
-        """Apply ``delta`` to every unlocked free pin of net ``e``."""
-        for u in self._epins[e]:
-            bucket = buckets[parts[u]]
-            if u in bucket:
-                gain[u] += delta
-                bucket.adjust(u, delta)
-
-    def _bump_single(
-        self,
-        e: int,
-        side: int,
-        delta: int,
-        gain: List[int],
-        buckets: Tuple[GainBucket, GainBucket],
-        parts: List[int],
-        moving: int,
-    ) -> None:
-        """Apply ``delta`` to the unique pin of net ``e`` on ``side``
-        (skipping the vertex currently being moved, whose side marker is
-        stale), if that pin is free and unlocked."""
-        for u in self._epins[e]:
-            if u != moving and parts[u] == side:
-                bucket = buckets[side]
-                if u in bucket:
-                    gain[u] += delta
-                    bucket.adjust(u, delta)
-                return

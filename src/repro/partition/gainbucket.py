@@ -7,7 +7,12 @@ Everything is flat integer arrays indexed by vertex id -- no node objects
 
 The same structure serves LIFO FM (pop the most recently inserted vertex
 of the best bucket), FIFO FM (pop the oldest) and CLIP (keys are gain
-*updates* rather than gains, so the key range doubles).
+*updates* rather than gains, so the key range doubles; see
+:meth:`GainBucket.adjust` for why ``2 * max_gain`` is a hard bound).
+
+Buckets are built to be *reused*: an FM engine allocates one bucket per
+side once, then calls :meth:`GainBucket.reset` at the start of every
+pass, which costs O(members) rather than O(num_vertices + key range).
 """
 
 from __future__ import annotations
@@ -125,8 +130,29 @@ class GainBucket:
         self.insert(vertex, new_key)
 
     def adjust(self, vertex: int, delta: int) -> None:
-        """Shift ``vertex``'s key by ``delta``."""
-        self.update(vertex, self._key[vertex] + delta)
+        """Shift ``vertex``'s key by ``delta``, saturating at the limit.
+
+        For plain FM the key is the vertex's actual gain, which is
+        bounded by the vertex's total incident net weight, so a key
+        never leaves ``[-limit, limit]``.  For CLIP the key is the
+        *accumulated update* since pass start.  Because every delta is
+        applied to the key and the actual gain together, the key always
+        equals ``gain_now - gain_at_insert``, and both terms are bounded
+        by the vertex's total incident net weight ``S_v``; hence
+        ``|key| <= 2 * S_v <= 2 * max_gain``, which is exactly the CLIP
+        bucket limit the FM engines allocate.  The saturation below can
+        therefore never fire for a correctly-driven engine -- it exists
+        so that a caller that breaks the invariant degrades to a
+        slightly-wrong priority instead of a crash deep inside a pass.
+        """
+        new_key = self._key[vertex] + delta
+        limit = self._limit
+        if new_key > limit:
+            new_key = limit
+        elif new_key < -limit:
+            new_key = -limit
+        self.remove(vertex)
+        self.insert(vertex, new_key)
 
     # ------------------------------------------------------------------
     def peek_max(self, fifo: bool = False) -> Optional[int]:
@@ -169,12 +195,40 @@ class GainBucket:
             idx -= 1
 
     def clear(self) -> None:
-        """Empty the structure (O(present vertices))."""
-        for v in range(len(self._present)):
-            if self._present[v]:
-                self._present[v] = False
-        for i in range(len(self._head)):
-            self._head[i] = _NIL
-            self._tail[i] = _NIL
+        """Empty the structure in O(members + occupied key range).
+
+        Instead of rewriting the full ``_present``/``_head``/``_tail``
+        arrays (O(num_vertices + 2*limit+1), the historical behaviour),
+        walk downward from the max-gain pointer, unlinking the members
+        of each occupied bucket, and stop as soon as every member has
+        been dropped -- all buckets below the lowest occupied one are
+        already empty.  This is what makes per-pass bucket reuse in the
+        FM kernels cheaper than allocating fresh buckets.
+        """
+        head = self._head
+        tail = self._tail
+        nxt = self._next
+        present = self._present
+        remaining = self._count
+        idx = self._max_index
+        while remaining and idx >= 0:
+            v = head[idx]
+            if v != _NIL:
+                while v != _NIL:
+                    present[v] = False
+                    remaining -= 1
+                    v = nxt[v]
+                head[idx] = _NIL
+                tail[idx] = _NIL
+            idx -= 1
         self._count = 0
         self._max_index = -1
+
+    def reset(self) -> None:
+        """Prepare the bucket for reuse (the FM per-pass entry point).
+
+        Semantically identical to :meth:`clear`; the separate name marks
+        the supported reuse pattern: one bucket per engine, ``reset()``
+        at the start of every pass instead of a fresh allocation.
+        """
+        self.clear()

@@ -14,11 +14,20 @@ the cut-nets objective) rather than only recursive bisection:
 
 The cut-nets objective (weight of nets spanning >= 2 blocks) matches
 :func:`repro.partition.solution.cut_size` for any k.
+
+Like the 2-way engine, the hot path is a flat-array kernel: the refiner
+owns a persistent ``array``-module pin-count buffer (``cnt[e * k + p]``)
+and a net-span buffer, derived once per :meth:`KWayFMRefiner.run` and
+kept exact across passes by replaying the rolled-back moves in reverse,
+plus one reusable :class:`GainBucket` reset per pass.  The move sequence
+is bit-identical to the straightforward engine retained in
+:mod:`repro.partition.fm_reference`.
 """
 
 from __future__ import annotations
 
 import random
+from array import array
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -29,13 +38,21 @@ from repro.partition.solution import FREE, cut_size, validate_fixture
 
 _KWAY_PASS_CAP = 100
 
+_NIL = -2
+"""GainBucket link terminator, mirrored here for the inlined hot loop."""
+
 
 @dataclass(frozen=True)
 class KWayFMConfig:
-    """Tuning knobs of the k-way engine."""
+    """Tuning knobs of the k-way engine.
+
+    ``record_moves`` keeps the per-pass ``(vertex, source, target)`` move
+    logs on the result (differential tests and the kernel benchmark).
+    """
 
     max_passes: int = -1
     pass_move_limit_fraction: float = 1.0
+    record_moves: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 < self.pass_move_limit_fraction <= 1.0:
@@ -54,10 +71,19 @@ class KWayFMResult:
     num_passes: int = 0
     total_moves: int = 0
     pass_moves: List[int] = field(default_factory=list)
+    move_logs: List[List[Tuple[int, int, int]]] = field(default_factory=list)
+    """Per-pass pre-rollback move triples; filled only when the config
+    sets ``record_moves``."""
 
 
 class KWayFMRefiner:
-    """Greedy direct k-way FM bound to (graph, balance, fixture)."""
+    """Greedy direct k-way FM bound to (graph, balance, fixture).
+
+    The refiner is reusable: persistent pin-count/span buffers are
+    re-derived at the start of every :meth:`run`, so one instance can
+    serve many sequential starts (the multistart driver caches one per
+    worker process).
+    """
 
     def __init__(
         self,
@@ -105,11 +131,42 @@ class KWayFMRefiner:
             default=0.0,
         )
 
+        # Persistent kernel buffers: flat pin counts (cnt[e*k + p]) and
+        # per-net block spans, kept exact across passes; plus a reusable
+        # bucket and the per-vertex stored-target side array for the
+        # lazy-revalidation scheme.
+        num_nets = graph.num_nets
+        k = self.num_parts
+        self._zero_cnt = array("q", [0]) * (num_nets * k)
+        self._cnt = array("q", [0]) * (num_nets * k)
+        self._spans = array("q", [0]) * num_nets
+        self._bucket = GainBucket(n, self._max_gain)
+        self._stored_target = [-1] * n
+        # Scratch arrays for the inlined best-move net classification
+        # (at most one entry per incident net of a single vertex).
+        max_degree = max((len(vn) for vn in self._vnets), default=0)
+        self._crit_base = [0] * max_degree
+        self._crit_weight = [0] * max_degree
+        # Pass-start snapshots for the cheaper-direction restore (see
+        # the 2-way kernel): when a pass keeps fewer moves than it
+        # undoes, restoring these C-speed copies and replaying the kept
+        # prefix forwards beats unwinding the undone suffix.
+        self._snap_cnt = array("q", [0]) * (num_nets * k)
+        self._snap_spans = array("q", [0]) * num_nets
+        self._snap_parts: List[int] = [0] * n
+
     # ------------------------------------------------------------------
     def run(
-        self, initial_parts: Sequence[int], seed: int = 0
+        self,
+        initial_parts: Sequence[int],
+        seed: int = 0,
+        initial_cut: Optional[int] = None,
     ) -> KWayFMResult:
-        """Refine ``initial_parts``; fixed vertices are forced first."""
+        """Refine ``initial_parts``; fixed vertices are forced first.
+
+        ``initial_cut``, when given, must be the exact cut of the forced
+        assignment and skips the O(pins) ``cut_size`` evaluation.
+        """
         graph = self.graph
         n = graph.num_vertices
         if len(initial_parts) != n:
@@ -125,29 +182,52 @@ class KWayFMRefiner:
         loads = [0.0] * self.num_parts
         for v in range(n):
             loads[parts[v]] += self._areas[v]
-        cut = cut_size(graph, parts)
+        cut = cut_size(graph, parts) if initial_cut is None else initial_cut
         result = KWayFMResult(
             parts=parts, cut=cut, initial_cut=cut
         )
         if not self._movable:
             return result
 
+        self._init_run_state(parts)
+
         rng = random.Random(seed)
+        record_moves = self.config.record_moves
         max_passes = self.config.max_passes
         if max_passes < 0:
             max_passes = _KWAY_PASS_CAP
         while result.num_passes < max_passes:
             key_before = self._progress_key(cut, loads)
-            cut, moves = self._run_pass(parts, loads, cut, rng,
-                                        result.num_passes)
+            cut, moves, log = self._run_pass(parts, loads, cut, rng,
+                                             result.num_passes)
             result.num_passes += 1
             result.total_moves += moves
             result.pass_moves.append(moves)
+            if record_moves:
+                result.move_logs.append(log)
             if not self._progress_key(cut, loads) < key_before:
                 break
         result.parts = parts
         result.cut = cut
         return result
+
+    # ------------------------------------------------------------------
+    def _init_run_state(self, parts: List[int]) -> None:
+        """Derive pin counts and spans from ``parts`` (once per run)."""
+        k = self.num_parts
+        cnt = self._cnt
+        cnt[:] = self._zero_cnt
+        spans = self._spans
+        epins = self._epins
+        for e in range(len(epins)):
+            base = e * k
+            for v in epins[e]:
+                cnt[base + parts[v]] += 1
+            span = 0
+            for p in range(base, base + k):
+                if cnt[p]:
+                    span += 1
+            spans[e] = span
 
     # ------------------------------------------------------------------
     def _progress_key(
@@ -170,46 +250,72 @@ class KWayFMRefiner:
         self,
         v: int,
         parts: List[int],
-        cnt: List[List[int]],
-        spans: List[int],
         loads: List[float],
     ) -> Tuple[int, int]:
         """Best (gain, target) for vertex ``v`` among feasible targets.
 
         Returns ``(gain, target)``; target is -1 when no target is
-        feasible under the balance gate.
+        feasible under the balance gate.  Reads the persistent flat
+        ``cnt``/``spans`` buffers.
         """
+        cnt = self._cnt
+        spans = self._spans
+        k = self.num_parts
         s = parts[v]
+        av = self._areas[v]
+        eweight = self._eweight
+
+        # Classify v's nets once -- the per-target contribution of a net
+        # depends on the target only for "critical" span-2 nets where v
+        # is alone on its side (those gain +w iff the target already
+        # holds a pin).  Everything else is target-independent:
+        # span >= 3 nets stay cut no matter where v goes (0); span-1
+        # nets with other pins on side s become cut everywhere (-w);
+        # singleton nets never change (0).
+        base_gain = 0
+        crit_bases: List[int] = []
+        crit_weights: List[int] = []
+        for e in self._vnets[v]:
+            w = eweight[e]
+            if not w:
+                continue
+            span = spans[e]
+            if span == 2:
+                if cnt[e * k + s] == 1:
+                    crit_bases.append(e * k)
+                    crit_weights.append(w)
+            elif span == 1 and cnt[e * k + s] != 1:
+                base_gain -= w
+
+        # Strictly-feasible fast path inlined; the violation-reduction /
+        # escape-hatch slow path stays in _move_allowed.
+        mnl = self.balance.min_loads
+        mxl = self.balance.max_loads
+        new_src = loads[s] - av
+        src_ok = mnl[s] <= new_src <= mxl[s]
         best_gain = None
         best_target = -1
-        for t in range(self.num_parts):
+        best_load = 0.0
+        for t in range(k):
             if t == s:
                 continue
-            if not self._move_allowed(loads, self._areas[v], s, t):
+            lt = loads[t]
+            if not (
+                (src_ok and mnl[t] <= lt + av <= mxl[t])
+                or self._move_allowed(loads, av, s, t)
+            ):
                 continue
-            gain = 0
-            for e in self._vnets[v]:
-                w = self._eweight[e]
-                if not w:
-                    continue
-                c = cnt[e]
-                span = spans[e]
-                was_cut = span >= 2
-                new_span = span
-                if c[s] == 1:
-                    new_span -= 1
-                if c[t] == 0:
-                    new_span += 1
-                now_cut = new_span >= 2
-                if was_cut and not now_cut:
-                    gain += w
-                elif not was_cut and now_cut:
-                    gain -= w
+            gain = base_gain
+            if crit_bases:
+                for base, w in zip(crit_bases, crit_weights):
+                    if cnt[base + t]:
+                        gain += w
             if best_gain is None or gain > best_gain or (
-                gain == best_gain and loads[t] < loads[best_target]
+                gain == best_gain and lt < best_load
             ):
                 best_gain = gain
                 best_target = t
+                best_load = lt
         return (best_gain if best_gain is not None else 0, best_target)
 
     def _move_allowed(
@@ -231,26 +337,102 @@ class KWayFMRefiner:
         cut: int,
         rng: random.Random,
         pass_index: int,
-    ) -> Tuple[int, int]:
-        graph = self.graph
+    ) -> Tuple[int, int, List[Tuple[int, int, int]]]:
         k = self.num_parts
-        num_nets = graph.num_nets
-        cnt = [[0] * k for _ in range(num_nets)]
-        spans = [0] * num_nets
-        for e in range(num_nets):
-            c = cnt[e]
-            for v in self._epins[e]:
-                c[parts[v]] += 1
-            spans[e] = sum(1 for x in c if x)
+        cnt = self._cnt
+        spans = self._spans
+        vnets = self._vnets
+        areas = self._areas
+        eweight = self._eweight
+        mnl = self.balance.min_loads
+        mxl = self.balance.max_loads
+        move_allowed = self._move_allowed
+        crit_b = self._crit_base
+        crit_w = self._crit_weight
+        NIL = _NIL
 
-        bucket = GainBucket(graph.num_vertices, self._max_gain)
-        stored_target = [-1] * graph.num_vertices
+        snap_cnt = self._snap_cnt
+        snap_spans = self._snap_spans
+        snap_parts = self._snap_parts
+        snap_cnt[:] = cnt
+        snap_spans[:] = spans
+        snap_parts[:] = parts
+
+        # The single reusable bucket, with its internals bound as locals
+        # for the inlined insert/pop; the scalar max/count state is kept
+        # in plain ints and written back before returning so reset()
+        # stays coherent.
+        bucket = self._bucket
+        bucket.reset()
+        blimit = bucket._limit
+        bh = bucket._head
+        bt = bucket._tail
+        bp = bucket._prev
+        bn = bucket._next
+        bky = bucket._key
+        bpr = bucket._present
+        bmaxi = -1
+        bcount = 0
+
+        stored_target = self._stored_target
         order = list(self._movable)
         rng.shuffle(order)
         for v in order:
-            gain, target = self._best_move(v, parts, cnt, spans, loads)
+            # ---- inlined _best_move (kept in sync with the method) --
+            s = parts[v]
+            av = areas[v]
+            base_gain = 0
+            nc = 0
+            for e in vnets[v]:
+                w = eweight[e]
+                if not w:
+                    continue
+                span = spans[e]
+                if span == 2:
+                    if cnt[e * k + s] == 1:
+                        crit_b[nc] = e * k
+                        crit_w[nc] = w
+                        nc += 1
+                elif span == 1 and cnt[e * k + s] != 1:
+                    base_gain -= w
+            new_src = loads[s] - av
+            src_ok = mnl[s] <= new_src <= mxl[s]
+            gain = 0
+            target = -1
+            best_load = 0.0
+            for t in range(k):
+                if t == s:
+                    continue
+                lt = loads[t]
+                if not (
+                    (src_ok and mnl[t] <= lt + av <= mxl[t])
+                    or move_allowed(loads, av, s, t)
+                ):
+                    continue
+                g = base_gain
+                for i in range(nc):
+                    if cnt[crit_b[i] + t]:
+                        g += crit_w[i]
+                if target < 0 or g > gain or (g == gain and lt < best_load):
+                    gain = g
+                    target = t
+                    best_load = lt
             if target >= 0:
-                bucket.insert(v, gain)
+                # inlined bucket insert at the fresh gain
+                idx = gain + blimit
+                oh = bh[idx]
+                bn[v] = oh
+                bp[v] = NIL
+                if oh != NIL:
+                    bp[oh] = v
+                else:
+                    bt[idx] = v
+                bh[idx] = v
+                bky[v] = gain
+                bpr[v] = True
+                bcount += 1
+                if idx > bmaxi:
+                    bmaxi = idx
                 stored_target[v] = target
 
         movable_count = len(self._movable)
@@ -263,72 +445,202 @@ class KWayFMRefiner:
             )
 
         move_log: List[Tuple[int, int, int]] = []  # (v, source, target)
+        log_append = move_log.append
+        nmoves = 0
         best_prefix = 0
         best_cut = cut
-        best_key = self._quality_key(cut, loads)
-        locked = [False] * graph.num_vertices
+        bk_state, bk_a, bk_b = self._quality_key(cut, loads)
 
-        while len(move_log) < move_limit and len(bucket):
-            v = bucket.pop_max()
-            stored_gain = bucket.key_of(v)
-            gain, target = self._best_move(v, parts, cnt, spans, loads)
+        while nmoves < move_limit and bcount:
+            # ---- inlined pop_max: LIFO head of the max bucket -------
+            v = bh[bmaxi]
+            nu = bn[v]
+            bh[bmaxi] = nu
+            if nu != NIL:
+                bp[nu] = NIL
+            else:
+                bt[bmaxi] = NIL
+            bpr[v] = False
+            bcount -= 1
+            stored_gain = bky[v]
+            if bcount == 0:
+                bmaxi = -1
+            elif nu == NIL:
+                while bh[bmaxi] == NIL:
+                    bmaxi -= 1
+            # ---- inlined _best_move (kept in sync with the method) --
+            s = parts[v]
+            av = areas[v]
+            base_gain = 0
+            nc = 0
+            for e in vnets[v]:
+                w = eweight[e]
+                if not w:
+                    continue
+                span = spans[e]
+                if span == 2:
+                    if cnt[e * k + s] == 1:
+                        crit_b[nc] = e * k
+                        crit_w[nc] = w
+                        nc += 1
+                elif span == 1 and cnt[e * k + s] != 1:
+                    base_gain -= w
+            new_src = loads[s] - av
+            src_ok = mnl[s] <= new_src <= mxl[s]
+            gain = 0
+            target = -1
+            best_load = 0.0
+            for t in range(k):
+                if t == s:
+                    continue
+                lt = loads[t]
+                if not (
+                    (src_ok and mnl[t] <= lt + av <= mxl[t])
+                    or move_allowed(loads, av, s, t)
+                ):
+                    continue
+                g = base_gain
+                for i in range(nc):
+                    if cnt[crit_b[i] + t]:
+                        g += crit_w[i]
+                if target < 0 or g > gain or (g == gain and lt < best_load):
+                    gain = g
+                    target = t
+                    best_load = lt
             if target < 0:
                 continue  # no longer feasible; drop from this pass
             if gain != stored_gain or target != stored_target[v]:
                 # Stale entry: re-insert with the fresh gain unless the
                 # fresh gain is still the bucket maximum.
-                current_max = bucket.max_key()
-                if current_max is not None and gain < current_max:
-                    bucket.insert(v, gain)
+                if bcount and gain < bmaxi - blimit:
+                    idx = gain + blimit
+                    oh = bh[idx]
+                    bn[v] = oh
+                    bp[v] = NIL
+                    if oh != NIL:
+                        bp[oh] = v
+                    else:
+                        bt[idx] = v
+                    bh[idx] = v
+                    bky[v] = gain
+                    bpr[v] = True
+                    bcount += 1
+                    if idx > bmaxi:
+                        bmaxi = idx
                     stored_target[v] = target
                     continue
-            s = parts[v]
             # Apply the move.
-            for e in self._vnets[v]:
-                c = cnt[e]
-                c[s] -= 1
-                if c[s] == 0:
+            for e in vnets[v]:
+                base = e * k
+                c = cnt[base + s] - 1
+                cnt[base + s] = c
+                if c == 0:
                     spans[e] -= 1
-                if c[target] == 0:
+                ct = cnt[base + target]
+                if ct == 0:
                     spans[e] += 1
-                c[target] += 1
+                cnt[base + target] = ct + 1
             parts[v] = target
-            loads[s] -= self._areas[v]
-            loads[target] += self._areas[v]
+            loads[s] -= av
+            loads[target] += av
             cut -= gain
-            locked[v] = True
-            move_log.append((v, s, target))
-            key = self._quality_key(cut, loads)
-            if key < best_key:
-                best_key = key
+            log_append((v, s, target))
+            nmoves += 1
+            # ---- inlined _quality_key + best-prefix tracking --------
+            viol = 0.0
+            for blk in range(k):
+                lb = loads[blk]
+                lo = mnl[blk]
+                if lb < lo:
+                    viol += lo - lb
+                elif lb > mxl[blk]:
+                    viol += lb - mxl[blk]
+            if viol == 0.0:
+                state = 0
+                a = cut
+                b_ = max(loads) - min(loads)
+            else:
+                state = 1
+                a = viol
+                b_ = cut
+            if state < bk_state or (
+                state == bk_state
+                and (a < bk_a or (a == bk_a and b_ < bk_b))
+            ):
+                bk_state = state
+                bk_a = a
+                bk_b = b_
                 best_cut = cut
-                best_prefix = len(move_log)
+                best_prefix = nmoves
 
-        for v, s, t in reversed(move_log[best_prefix:]):
-            parts[v] = s
-            loads[t] -= self._areas[v]
-            loads[s] += self._areas[v]
-        return best_cut, len(move_log)
+        bucket._count = bcount
+        bucket._max_index = bmaxi
+
+        # Restore the best prefix, cheaper direction first.  Each undo
+        # is itself a move, so replaying the undone suffix backwards
+        # restores cnt/spans exactly -- no rebuild next pass.  When the
+        # pass keeps fewer moves than it undoes, copying the pass-start
+        # snapshot back and replaying the kept prefix forwards is
+        # cheaper.  Loads are floats, so they are always unwound with
+        # the backward delta arithmetic the reference uses (float
+        # addition is not associative).
+        if best_prefix <= len(move_log) - best_prefix:
+            for v, s, t in reversed(move_log[best_prefix:]):
+                av = areas[v]
+                loads[t] -= av
+                loads[s] += av
+            cnt[:] = snap_cnt
+            spans[:] = snap_spans
+            parts[:] = snap_parts
+            for i in range(best_prefix):
+                v, s, t = move_log[i]
+                for e in vnets[v]:
+                    base = e * k
+                    c = cnt[base + s] - 1
+                    cnt[base + s] = c
+                    if c == 0:
+                        spans[e] -= 1
+                    ct = cnt[base + t]
+                    if ct == 0:
+                        spans[e] += 1
+                    cnt[base + t] = ct + 1
+                parts[v] = t
+        else:
+            for v, s, t in reversed(move_log[best_prefix:]):
+                for e in vnets[v]:
+                    base = e * k
+                    c = cnt[base + t] - 1
+                    cnt[base + t] = c
+                    if c == 0:
+                        spans[e] -= 1
+                    cs = cnt[base + s]
+                    if cs == 0:
+                        spans[e] += 1
+                    cnt[base + s] = cs + 1
+                parts[v] = s
+                av = areas[v]
+                loads[t] -= av
+                loads[s] += av
+        return best_cut, len(move_log), move_log
 
 
-def kway_fm_partition(
+def kway_balanced_construction(
     graph: Hypergraph,
     balance: BalanceConstraint,
-    fixture: Optional[Sequence[int]] = None,
-    config: Optional[KWayFMConfig] = None,
-    seed: int = 0,
-) -> KWayFMResult:
-    """Construct-and-refine: random balanced k-way start, then k-way FM.
+    fixture: Sequence[int],
+    rng: random.Random,
+) -> List[int]:
+    """Random balanced k-way construction (fixed vertices forced).
 
-    The construction visits free vertices largest-first and assigns each
-    to the feasible block with the most remaining capacity.
+    Free vertices are visited largest-first (random shuffle breaks area
+    ties) and each is assigned to the feasible block with the most
+    remaining capacity, random among ties.  Extracted from
+    :func:`kway_fm_partition` so multistart drivers can pair it with a
+    cached refiner; the rng consumption order is part of the determinism
+    contract (shuffle, then one ``rng.choice`` per free vertex).
     """
     num_parts = balance.num_parts
     n = graph.num_vertices
-    if fixture is None:
-        fixture = [FREE] * n
-    validate_fixture(fixture, n, num_parts)
-    rng = random.Random(seed)
 
     parts = [0] * n
     loads = [0.0] * num_parts
@@ -353,6 +665,35 @@ def kway_fm_partition(
         block = rng.choice(choices)
         parts[v] = block
         loads[block] += graph.area(v)
+    return parts
 
-    refiner = KWayFMRefiner(graph, balance, fixture=fixture, config=config)
+
+def kway_fm_partition(
+    graph: Hypergraph,
+    balance: BalanceConstraint,
+    fixture: Optional[Sequence[int]] = None,
+    config: Optional[KWayFMConfig] = None,
+    seed: int = 0,
+    refiner: Optional[KWayFMRefiner] = None,
+) -> KWayFMResult:
+    """Construct-and-refine: random balanced k-way start, then k-way FM.
+
+    ``refiner``, when supplied, must be bound to the same
+    (graph, balance, fixture) triple; passing one lets callers reuse its
+    persistent kernel buffers across many seeds instead of rebuilding
+    the engine per start.
+    """
+    num_parts = balance.num_parts
+    n = graph.num_vertices
+    if fixture is None:
+        fixture = [FREE] * n
+    validate_fixture(fixture, n, num_parts)
+    rng = random.Random(seed)
+
+    parts = kway_balanced_construction(graph, balance, fixture, rng)
+
+    if refiner is None:
+        refiner = KWayFMRefiner(
+            graph, balance, fixture=fixture, config=config
+        )
     return refiner.run(parts, seed=rng.getrandbits(32))

@@ -32,7 +32,7 @@ from repro.partition.matching import (
     heavy_edge_matching,
     random_matching,
 )
-from repro.partition.solution import FREE, Bipartition, cut_size, validate_fixture
+from repro.partition.solution import FREE, Bipartition, validate_fixture
 
 MATCHING_SCHEMES = ("heavy", "random")
 
@@ -118,28 +118,35 @@ class MultilevelBipartitioner:
         coarsest_graph = levels[-1].coarse if levels else self.graph
         coarsest_fixture = levels[-1].fixture if levels else self.fixture
 
-        parts, passes = self._initial_partition(
+        parts, cut, passes = self._initial_partition(
             coarsest_graph, coarsest_fixture, rng
         )
 
         # Uncoarsen with FM refinement at every level.  levels[i] maps
         # between graphs[i] (fine) and levels[i].coarse; graphs[0] is the
-        # original hypergraph.
+        # original hypergraph.  Projection preserves the cut exactly
+        # (contraction drops nets internal to a cluster and merges
+        # parallel nets by summing weights), so the cut is threaded
+        # through every level and cut_size() is never re-evaluated after
+        # the coarsest-level starts.
         for i in range(len(levels) - 1, -1, -1):
             parts = levels[i].project(parts)
             fine_graph = levels[i - 1].coarse if i > 0 else self.graph
             fine_fixture = levels[i - 1].fixture if i > 0 else self.fixture
-            result = self._flat_engine(fine_graph, fine_fixture).run(parts)
+            result = self._flat_engine(fine_graph, fine_fixture).run(
+                parts, initial_cut=cut
+            )
             parts = result.solution.parts
+            cut = result.solution.cut
             passes += result.num_passes
 
         vcycles_run = 0
         for _ in range(self.config.vcycles):
-            parts, extra = self._vcycle(parts, rng)
+            parts, cut, extra = self._vcycle(parts, cut, rng)
             passes += extra
             vcycles_run += 1
 
-        solution = Bipartition(parts=parts, cut=cut_size(self.graph, parts))
+        solution = Bipartition(parts=parts, cut=cut)
         return MultilevelResult(
             solution=solution,
             num_levels=len(levels),
@@ -210,8 +217,8 @@ class MultilevelBipartitioner:
         graph: Hypergraph,
         fixture: List[int],
         rng: random.Random,
-    ) -> Tuple[List[int], int]:
-        """Best of ``initial_starts`` FM runs.
+    ) -> Tuple[List[int], int, int]:
+        """Best of ``initial_starts`` FM runs, as (parts, cut, passes).
 
         Constructions alternate between random balanced assignments and
         (when the coarsest level carries fixed vertices) the
@@ -241,13 +248,19 @@ class MultilevelBipartitioner:
                 best_parts = list(result.solution.parts)
                 best_cut = result.solution.cut
         assert best_parts is not None
-        return best_parts, passes
+        return best_parts, best_cut, passes
 
     def _vcycle(
-        self, parts: List[int], rng: random.Random
-    ) -> Tuple[List[int], int]:
+        self, parts: List[int], cut: int, rng: random.Random
+    ) -> Tuple[List[int], int, int]:
         """One V-cycle: re-coarsen restricted to the current partition,
-        refine back down, finish with a flat pass at the finest level."""
+        refine back down, finish with a flat pass at the finest level.
+
+        Returns (parts, cut, passes).  The guard keeps every cluster
+        inside one block, so both the upward projection onto the coarse
+        hierarchy and the downward ``project`` calls preserve the cut
+        exactly and it can be threaded through instead of recomputed.
+        """
         levels = self._build_hierarchy(rng, partition_guard=parts)
         coarse_parts = list(parts)
         for level in levels:
@@ -260,12 +273,15 @@ class MultilevelBipartitioner:
         current = coarse_parts
         for i in range(len(levels) - 1, -1, -1):
             engine = self._flat_engine(levels[i].coarse, levels[i].fixture)
-            result = engine.run(current)
+            result = engine.run(current, initial_cut=cut)
             passes += result.num_passes
+            cut = result.solution.cut
             current = levels[i].project(result.solution.parts)
-        final = self._flat_engine(self.graph, self.fixture).run(current)
+        final = self._flat_engine(self.graph, self.fixture).run(
+            current, initial_cut=cut
+        )
         passes += final.num_passes
-        return list(final.solution.parts), passes
+        return list(final.solution.parts), final.solution.cut, passes
 
     def _flat_engine(
         self, graph: Hypergraph, fixture: Sequence[int]

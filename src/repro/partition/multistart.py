@@ -26,7 +26,11 @@ from repro.hypergraph.hypergraph import Hypergraph
 from repro.partition.balance import BalanceConstraint
 from repro.partition.fm import FMBipartitioner, FMConfig
 from repro.partition.initial import random_balanced_bipartition
-from repro.partition.kwayfm import KWayFMConfig, kway_fm_partition
+from repro.partition.kwayfm import (
+    KWayFMConfig,
+    KWayFMRefiner,
+    kway_fm_partition,
+)
 from repro.partition.multilevel import (
     MultilevelBipartitioner,
     MultilevelConfig,
@@ -219,10 +223,24 @@ class FlatFMStartTask(_EngineStartTask):
 
 
 class KWayStartTask(_EngineStartTask):
-    """One construct-and-refine k-way start per seed."""
+    """One construct-and-refine k-way start per seed.
 
-    def _build_engine(self) -> None:
-        return None
+    The :class:`KWayFMRefiner` is reusable (its kernel buffers are
+    re-derived per run), so one cached refiner per process serves every
+    start instead of rebuilding the engine -- adjacency flattening and
+    buffer allocation happen once.  Passing the cached refiner through
+    :func:`kway_fm_partition` keeps the rng consumption (construction,
+    then ``rng.getrandbits(32)`` for the pass shuffles) identical to the
+    uncached path, so results stay bit-identical.
+    """
+
+    def _build_engine(self) -> KWayFMRefiner:
+        return KWayFMRefiner(
+            self.graph,
+            self.balance,
+            fixture=self.fixture,
+            config=self.config,
+        )
 
     def __call__(self, start_seed: int):
         return kway_fm_partition(
@@ -231,11 +249,8 @@ class KWayStartTask(_EngineStartTask):
             fixture=self.fixture,
             config=self.config,
             seed=start_seed,
+            refiner=self.engine,
         )
-
-    @property
-    def engine(self):  # k-way has no reusable engine object
-        return None
 
 
 def multilevel_multistart(

@@ -134,6 +134,76 @@ class TestBasics:
         b.insert(0, -2)
         assert b.pop_max() == 0
 
+    def test_clear_skips_below_lowest_occupied(self):
+        """clear() walks down from the max pointer and stops once every
+        member is unlinked; buckets below stay untouched but the
+        structure must still be fully reusable afterwards."""
+        b = GainBucket(8, 50)
+        b.insert(0, 40)
+        b.insert(1, 40)
+        b.insert(2, 37)
+        b.clear()
+        assert len(b) == 0
+        for v, k in ((3, -50), (4, 40), (5, 37), (0, 0)):
+            b.insert(v, k)
+        assert b.pop_max() == 4
+        assert b.pop_max() == 5
+        assert b.pop_max() == 0
+        assert b.pop_max() == 3
+        assert b.pop_max() is None
+
+    def test_reset_reuses_across_passes(self):
+        """reset() (the FM per-pass entry point) leaves the bucket
+        indistinguishable from a fresh allocation."""
+        b = GainBucket(6, 4)
+        fresh = GainBucket(6, 4)
+        for v in range(6):
+            b.insert(v, v - 3)
+        b.pop_max()
+        b.pop_max()
+        b.reset()
+        inserts = [(2, 1), (0, 1), (5, -4), (3, 4)]
+        for v, k in inserts:
+            b.insert(v, k)
+            fresh.insert(v, k)
+        assert list(b.iter_descending()) == list(fresh.iter_descending())
+        assert b.max_key() == fresh.max_key()
+        assert len(b) == len(fresh)
+
+    def test_adjust_saturates_at_limit(self):
+        """Regression: CLIP-style accumulated adjusts that would leave
+        the key range clamp at +/-limit instead of crashing."""
+        b = GainBucket(3, 4)
+        b.insert(0, 3)
+        b.adjust(0, 3)  # would be 6 > limit
+        assert b.key_of(0) == 4
+        b.adjust(0, 100)
+        assert b.key_of(0) == 4
+        b.adjust(0, -9)  # would be -5 < -limit
+        assert b.key_of(0) == -4
+        assert b.max_key() == -4
+
+    def test_adjust_dense_net_drives_keys_past_old_limit(self):
+        """A dense weighted net adjusts one vertex once per neighbour
+        move; the accumulated CLIP key walks far past the plain
+        ``max_gain`` limit (the historical bucket size) and must stay
+        within the ``2 * max_gain`` bound without saturating."""
+        w = 3
+        neighbours = 10
+        max_gain = neighbours * w  # one clique-ish net of weight 3
+        b = GainBucket(neighbours + 1, 2 * max_gain)
+        b.insert(0, 0)  # CLIP inserts everything at key 0
+        # First the net loses pins on vertex 0's side (gain rises by w
+        # each time), then the direction flips; the extremes are +/-
+        # the total incident weight, beyond the old one-sided limit.
+        for _ in range(neighbours):
+            b.adjust(0, w)
+        assert b.key_of(0) == max_gain
+        for _ in range(neighbours * 2):
+            b.adjust(0, -w)
+        assert b.key_of(0) == -max_gain
+        assert len(b) == 1
+
 
 class BucketModel(RuleBasedStateMachine):
     """Compare GainBucket against a dict model."""
