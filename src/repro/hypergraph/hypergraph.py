@@ -82,6 +82,8 @@ class Hypergraph:
         "_net_names",
         "_extra_resources",
         "_total_area",
+        "_csr_lists",
+        "_match_tables",
     )
 
     def __init__(
@@ -193,6 +195,11 @@ class Hypergraph:
             self._extra_resources = None
 
         self._total_area = sum(self._areas)
+        self._csr_lists: Optional[Tuple[List, ...]] = None
+        # Derived per-net scoring tables, lazily built and cached by the
+        # matching kernels (multi-start drivers re-match the same graph
+        # once per start); see repro.partition.matching._net_tables.
+        self._match_tables: Optional[Dict] = None
 
     # ------------------------------------------------------------------
     # Sizes
@@ -393,6 +400,30 @@ class Hypergraph:
             "extra_resources": self._extra_resources,
         }
 
+    def csr_lists(self) -> Tuple[List, ...]:
+        """Plain-list views of the CSR buffers, built once and cached.
+
+        Returns ``(net_ptr, net_pins, vtx_ptr, vtx_nets, net_weights,
+        areas)`` as Python lists.  List indexing returns existing objects
+        (small-int cache, shared floats) where :class:`array.array`
+        indexing must box a fresh one per access, which is what the
+        coarsening kernels' inner loops are bound by.  The lists are
+        cached on the instance; callers must treat them as read-only,
+        exactly like the hypergraph itself.
+        """
+        lists = self._csr_lists
+        if lists is None:
+            lists = (
+                self._net_ptr.tolist(),
+                self._net_pins.tolist(),
+                self._vtx_ptr.tolist(),
+                self._vtx_nets.tolist(),
+                self._net_weights.tolist(),
+                self._areas.tolist(),
+            )
+            self._csr_lists = lists
+        return lists
+
     @classmethod
     def from_buffers(cls, buffers: Dict[str, Any]) -> "Hypergraph":
         """Rebuild a hypergraph from :meth:`to_buffers` output.
@@ -440,6 +471,8 @@ class Hypergraph:
         else:
             graph._extra_resources = None
         graph._total_area = sum(graph._areas)
+        graph._csr_lists = None
+        graph._match_tables = None
         return graph
 
     def __reduce__(self):

@@ -51,6 +51,15 @@ from repro.partition.matching import (
     heavy_edge_matching,
     random_matching,
 )
+from repro.partition.matching_reference import (
+    coarsen as reference_coarsen,
+)
+from repro.partition.matching_reference import (
+    heavy_edge_matching as reference_heavy_edge_matching,
+)
+from repro.partition.matching_reference import (
+    random_matching as reference_random_matching,
+)
 from repro.partition.multilevel import (
     MultilevelBipartitioner,
     MultilevelConfig,
@@ -171,6 +180,9 @@ __all__ = [
     "random_matching",
     "random_side_assignment",
     "recursive_bisection",
+    "reference_coarsen",
+    "reference_heavy_edge_matching",
+    "reference_random_matching",
     "relative_balance",
     "relative_bipartition_balance",
     "fiedler_vector",

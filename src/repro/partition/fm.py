@@ -164,6 +164,15 @@ class FMResult:
 _QualityKey = Tuple[int, float, float]
 
 
+def _resize_zq(arr: array, length: int) -> None:
+    """Resize a signed-64 array in place, zero-filling any growth."""
+    cur = len(arr)
+    if cur > length:
+        del arr[length:]
+    elif cur < length:
+        arr.extend(array("q", bytes(8 * (length - cur))))
+
+
 class FMBipartitioner:
     """Reusable FM engine bound to one (graph, balance, fixture) triple.
 
@@ -183,13 +192,67 @@ class FMBipartitioner:
     ) -> None:
         if balance.num_parts != 2:
             raise ValueError("FMBipartitioner is strictly 2-way")
-        self.graph = graph
         self.balance = balance
         self.config = config or FMConfig()
+
+        # Persistent typed buffers.  _bind sizes them to the bound graph;
+        # rebind() re-shapes them in place instead of reallocating, which
+        # is what makes one engine serve a whole multilevel hierarchy.
+        self._zero_nets = array("q")
+        self._cnt0 = array("q")
+        self._cnt1 = array("q")
+        self._ids0 = array("q")
+        self._ids1 = array("q")
+        self._uf0 = array("q")
+        self._uf1 = array("q")
+        self._gain = array("q")
+        self._snap_cnt0 = array("q")
+        self._snap_cnt1 = array("q")
+        self._snap_ids0 = array("q")
+        self._snap_ids1 = array("q")
+        self._snap_uf0 = array("q")
+        self._snap_uf1 = array("q")
+        self._snap_gain = array("q")
+        self._snap_parts: List[int] = []
+        self._buckets: Optional[Tuple[GainBucket, GainBucket]] = None
+
+        self.graph: Optional[Hypergraph] = None
+        self.fixture: Optional[List[int]] = None
+        self._bind(graph, fixture)
+
+    def rebind(
+        self,
+        graph: Hypergraph,
+        fixture: Optional[Sequence[int]] = None,
+    ) -> "FMBipartitioner":
+        """Re-target the engine at a new ``(graph, fixture)`` pair.
+
+        All graph-derived state is recomputed, but every typed buffer and
+        both gain buckets are resized in place rather than reallocated --
+        the engine-pool fast path for multilevel drivers that refine a
+        stack of similarly-shaped graphs.  Returns ``self``.
+        """
+        new_fixture = (
+            list(fixture)
+            if fixture is not None
+            else [FREE] * graph.num_vertices
+        )
+        if graph is self.graph and new_fixture == self.fixture:
+            return self
+        self._bind(graph, new_fixture)
+        return self
+
+    def _bind(
+        self,
+        graph: Hypergraph,
+        fixture: Optional[Sequence[int]],
+    ) -> None:
+        """Derive all per-graph state; reuse buffer allocations."""
         n = graph.num_vertices
         if fixture is None:
             fixture = [FREE] * n
         validate_fixture(fixture, n, 2)
+        self.graph = graph
         self.fixture = list(fixture)
 
         # Flatten adjacency into plain lists once; the inner loop must not
@@ -226,30 +289,34 @@ class FMBipartitioner:
             default=0.0,
         )
 
-        # Persistent kernel buffers.  cnt/ids are fully overwritten by
-        # _init_run_state; uf needs a zero template; gain is per-vertex.
+        # Kernel buffers, resized in place.  cnt/ids are fully rewritten
+        # by _init_run_state and gain is set per movable vertex, so stale
+        # tails from a previous binding are never read; _zero_nets is the
+        # uf reset template and must stay all-zero, which _resize_zq's
+        # truncate/zero-extend preserves.
         num_nets = graph.num_nets
-        self._zero_nets = array("q", [0]) * num_nets
-        self._cnt0 = array("q", [0]) * num_nets
-        self._cnt1 = array("q", [0]) * num_nets
-        self._ids0 = array("q", [0]) * num_nets
-        self._ids1 = array("q", [0]) * num_nets
-        self._uf0 = array("q", [0]) * num_nets
-        self._uf1 = array("q", [0]) * num_nets
-        self._gain = array("q", [0]) * n
+        _resize_zq(self._zero_nets, num_nets)
+        _resize_zq(self._cnt0, num_nets)
+        _resize_zq(self._cnt1, num_nets)
+        _resize_zq(self._ids0, num_nets)
+        _resize_zq(self._ids1, num_nets)
+        _resize_zq(self._uf0, num_nets)
+        _resize_zq(self._uf1, num_nets)
+        _resize_zq(self._gain, n)
 
         # Pass-start snapshots for the cheaper-direction restore: when a
         # pass keeps fewer moves than it undoes, restoring the snapshot
         # (C-speed slice copies) and replaying the kept prefix forward
         # beats replaying the undone suffix backwards.
-        self._snap_cnt0 = array("q", [0]) * num_nets
-        self._snap_cnt1 = array("q", [0]) * num_nets
-        self._snap_ids0 = array("q", [0]) * num_nets
-        self._snap_ids1 = array("q", [0]) * num_nets
-        self._snap_uf0 = array("q", [0]) * num_nets
-        self._snap_uf1 = array("q", [0]) * num_nets
-        self._snap_gain = array("q", [0]) * n
-        self._snap_parts: List[int] = [0] * n
+        _resize_zq(self._snap_cnt0, num_nets)
+        _resize_zq(self._snap_cnt1, num_nets)
+        _resize_zq(self._snap_ids0, num_nets)
+        _resize_zq(self._snap_ids1, num_nets)
+        _resize_zq(self._snap_uf0, num_nets)
+        _resize_zq(self._snap_uf1, num_nets)
+        _resize_zq(self._snap_gain, n)
+        if len(self._snap_parts) != n:
+            self._snap_parts = [0] * n
 
         # One reusable bucket per side; reset() per pass instead of two
         # fresh allocations.  CLIP keys are accumulated updates, whose
@@ -259,7 +326,11 @@ class FMBipartitioner:
             if self.config.policy == "clip"
             else self._max_gain
         )
-        self._buckets = (GainBucket(n, limit), GainBucket(n, limit))
+        if self._buckets is None:
+            self._buckets = (GainBucket(n, limit), GainBucket(n, limit))
+        else:
+            self._buckets[0].resize(n, limit)
+            self._buckets[1].resize(n, limit)
         self._bucket_limit = limit
 
     @property

@@ -232,3 +232,37 @@ class GainBucket:
         at the start of every pass instead of a fresh allocation.
         """
         self.clear()
+
+    def resize(self, num_vertices: int, limit: int) -> None:
+        """Re-shape the bucket for a different vertex count / key range.
+
+        The engine-pool entry point: an FM engine rebound to a new graph
+        keeps its bucket objects and resizes them instead of allocating
+        fresh ones.  The structure is emptied first (``clear`` leaves
+        every ``_head``/``_tail`` slot at ``_NIL`` and every ``_present``
+        flag False, so surviving prefixes need no rewriting); the arrays
+        are then grown or truncated in place.
+        """
+        if limit < 0:
+            raise ValueError("gain limit must be non-negative")
+        self.clear()
+        self._limit = limit
+        size = 2 * limit + 1
+        for arr, fill in (
+            (self._head, _NIL),
+            (self._tail, _NIL),
+        ):
+            if len(arr) > size:
+                del arr[size:]
+            elif len(arr) < size:
+                arr.extend([fill] * (size - len(arr)))
+        for arr, fill in (
+            (self._prev, _NIL),
+            (self._next, _NIL),
+            (self._key, 0),
+            (self._present, False),
+        ):
+            if len(arr) > num_vertices:
+                del arr[num_vertices:]
+            elif len(arr) < num_vertices:
+                arr.extend([fill] * (num_vertices - len(arr)))

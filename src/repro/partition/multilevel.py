@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.partition.balance import (
@@ -109,6 +109,14 @@ class MultilevelBipartitioner:
             fixture = [FREE] * n
         validate_fixture(fixture, n, 2)
         self.fixture = list(fixture)
+        # FM engines pooled by graph shape: refinement at every level of
+        # every start/V-cycle rebinds a pooled engine (buffers resized in
+        # place) instead of allocating a fresh one.  Hierarchies from
+        # different seeds produce slightly different coarse shapes, so the
+        # pool is capped; overflow simply drops the pool and starts over.
+        self._engine_pool: Dict[Tuple[int, int], FMBipartitioner] = {}
+
+    _ENGINE_POOL_CAP = 64
 
     # ------------------------------------------------------------------
     def run(self, seed: int = 0) -> MultilevelResult:
@@ -175,7 +183,7 @@ class MultilevelBipartitioner:
         max_cluster_area = cfg.max_cluster_area_fraction * graph.total_area
 
         while len(levels) < cfg.max_levels:
-            movable = sum(1 for f in fixture if f == FREE)
+            movable = fixture.count(FREE)
             if movable <= cfg.coarsest_size:
                 break
             # With a guard, merging is restricted to same-block pairs by
@@ -184,24 +192,11 @@ class MultilevelBipartitioner:
             # guard-legal merge is fixture-legal because fixed vertices
             # always sit inside their own block.
             matcher_fixture = guard if guard is not None else fixture
-            if cfg.matching == "heavy":
-                labels = heavy_edge_matching(
-                    graph,
-                    fixture=matcher_fixture,
-                    rng=rng,
-                    max_cluster_area=max_cluster_area,
-                )
-            else:
-                labels = random_matching(
-                    graph,
-                    fixture=matcher_fixture,
-                    rng=rng,
-                    max_cluster_area=max_cluster_area,
-                )
+            labels = self._match(graph, matcher_fixture, rng, max_cluster_area)
             coarse_n = max(labels) + 1
             if coarse_n >= cfg.clustering_ratio * graph.num_vertices:
                 break
-            level = coarsen(graph, fixture, labels)
+            level = self._coarsen(graph, fixture, labels)
             levels.append(level)
             graph = level.coarse
             fixture = level.fixture
@@ -211,6 +206,41 @@ class MultilevelBipartitioner:
                     new_guard[c] = guard[v]
                 guard = new_guard
         return levels
+
+    def _match(
+        self,
+        graph: Hypergraph,
+        fixture: Sequence[int],
+        rng: random.Random,
+        max_cluster_area: float,
+    ) -> List[int]:
+        """One matching round (seam for benchmarks swapping in the
+        reference matchers)."""
+        if self.config.matching == "heavy":
+            return heavy_edge_matching(
+                graph,
+                fixture=fixture,
+                rng=rng,
+                max_cluster_area=max_cluster_area,
+                num_parts=2,
+            )
+        return random_matching(
+            graph,
+            fixture=fixture,
+            rng=rng,
+            max_cluster_area=max_cluster_area,
+            num_parts=2,
+        )
+
+    def _coarsen(
+        self,
+        graph: Hypergraph,
+        fixture: Sequence[int],
+        labels: Sequence[int],
+    ) -> CoarseLevel:
+        """One contraction (seam for benchmarks swapping in the
+        reference contraction)."""
+        return coarsen(graph, fixture, labels)
 
     def _initial_partition(
         self,
@@ -286,8 +316,19 @@ class MultilevelBipartitioner:
     def _flat_engine(
         self, graph: Hypergraph, fixture: Sequence[int]
     ) -> FMBipartitioner:
+        """An FM engine bound to ``(graph, fixture)``, from the pool.
+
+        Engines are keyed by graph shape so a rebind resizes the pooled
+        engine's buffers in place; every graph-derived member is still
+        recomputed, so shape collisions are a pure allocation win, never
+        a correctness hazard.
+        """
+        key = (graph.num_vertices, graph.num_nets)
+        engine = self._engine_pool.get(key)
+        if engine is not None:
+            return engine.rebind(graph, fixture)
         cfg = self.config
-        return FMBipartitioner(
+        engine = FMBipartitioner(
             graph,
             self.balance,
             fixture=fixture,
@@ -296,3 +337,7 @@ class MultilevelBipartitioner:
                 pass_move_limit_fraction=cfg.pass_move_limit_fraction,
             ),
         )
+        if len(self._engine_pool) >= self._ENGINE_POOL_CAP:
+            self._engine_pool.clear()
+        self._engine_pool[key] = engine
+        return engine

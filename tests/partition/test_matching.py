@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.hypergraph import Hypergraph, clustered_hypergraph
+from repro.hypergraph import Hypergraph, HypergraphError, clustered_hypergraph
 from repro.partition import (
     FREE,
     coarsen,
@@ -78,6 +78,20 @@ class TestHeavyEdgeMatching:
         labels = heavy_edge_matching(g, rng=rng, max_net_size=5)
         assert max(labels) + 1 == 10
 
+    def test_fixture_validated_against_num_parts(self, rng):
+        # The multilevel driver partitions 2-way; a fixture block id
+        # outside [0, num_parts) is a caller bug, caught up front.
+        g = Hypergraph([[0, 1]], num_vertices=2)
+        with pytest.raises(ValueError):
+            heavy_edge_matching(g, fixture=[0, 2], rng=rng, num_parts=2)
+        with pytest.raises(ValueError):
+            heavy_edge_matching(g, fixture=[0, -2], rng=rng, num_parts=2)
+        # Block 2 is legal when the caller really has three parts.
+        labels = heavy_edge_matching(
+            g, fixture=[0, 2], rng=rng, num_parts=3
+        )
+        assert len(labels) == 2
+
 
 class TestRandomMatching:
     def test_pairs_only(self, clusters4, rng):
@@ -94,6 +108,13 @@ class TestRandomMatching:
         labels = random_matching(g, rng=rng, max_cluster_area=10.0)
         assert labels[0] != labels[1]
 
+    def test_fixture_validated_against_num_parts(self, rng):
+        g = Hypergraph([[0, 1]], num_vertices=2)
+        with pytest.raises(ValueError):
+            random_matching(g, fixture=[0, 2], rng=rng, num_parts=2)
+        labels = random_matching(g, fixture=[0, 2], rng=rng, num_parts=3)
+        assert len(labels) == 2
+
 
 class TestCoarsen:
     def test_fixture_propagates(self, rng):
@@ -105,6 +126,16 @@ class TestCoarsen:
     def test_conflicting_fixture_rejected(self):
         g = Hypergraph([[0, 1]], num_vertices=2)
         with pytest.raises(ValueError):
+            coarsen(g, [0, 1], [0, 0])
+
+    def test_conflicting_fixture_error_names_cluster_and_blocks(self):
+        # The error is a HypergraphError (like contract's own failures)
+        # and names the offending cluster and both blocks.
+        g = Hypergraph([[0, 1]], num_vertices=2)
+        with pytest.raises(
+            HypergraphError,
+            match=r"cluster 0 merges vertices fixed in blocks 0 and 1",
+        ):
             coarsen(g, [0, 1], [0, 0])
 
     def test_project(self):
