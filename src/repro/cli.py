@@ -32,6 +32,7 @@ from repro.partition import (
     relative_balance,
 )
 from repro.placement import build_suite, format_table, place_circuit
+from repro.runtime import jobs_from_env, parse_jobs
 
 ENGINES = ("multilevel", "fm", "kway")
 EXPERIMENTS = (
@@ -48,12 +49,53 @@ EXPERIMENTS = (
 
 
 def _jobs_arg(value: str) -> int:
-    jobs = int(value)
-    if jobs < 0:
+    # Delegates to the runtime's parser so the CLI and the API reject a
+    # bad --jobs with the same message (and the same rules).
+    try:
+        return parse_jobs(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def _default_jobs() -> int:
+    """CLI default for --jobs: REPRO_JOBS if set (validated), else 1."""
+    env = jobs_from_env()
+    return 1 if env is None else env
+
+
+def _timeout_arg(value: str) -> float:
+    timeout = float(value)
+    if timeout <= 0:
         raise argparse.ArgumentTypeError(
-            f"must be >= 0 (0 = all cores), got {jobs}"
+            f"must be positive seconds, got {timeout}"
         )
-    return jobs
+    return timeout
+
+
+def _retries_arg(value: str) -> int:
+    retries = int(value)
+    if retries < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {retries}")
+    return retries
+
+
+def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
+    """The fault-tolerance knobs shared by partition and experiment."""
+    parser.add_argument(
+        "--resume", default=None, metavar="JOURNAL",
+        help="checkpoint journal path; created on first use, resumed "
+             "afterwards (completed cells are skipped bit-identically)",
+    )
+    parser.add_argument(
+        "--timeout", type=_timeout_arg, default=None, metavar="SECS",
+        help="per-item wall-clock deadline; expired items are retried "
+             "on a fresh pool",
+    )
+    parser.add_argument(
+        "--max-retries", type=_retries_arg, default=None, metavar="N",
+        help="crash/timeout retries per item before it is quarantined "
+             "as a null row (default 2 when --timeout is set)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -89,9 +131,10 @@ def build_parser() -> argparse.ArgumentParser:
     part.add_argument("--starts", type=int, default=1)
     part.add_argument("--seed", type=int, default=0)
     part.add_argument(
-        "--jobs", type=_jobs_arg, default=1,
+        "--jobs", type=_jobs_arg, default=_default_jobs(),
         help="worker processes for independent starts "
-             "(0 = all cores; results are identical to --jobs 1)",
+             "(0 = all cores; REPRO_JOBS sets the default; results are "
+             "identical to --jobs 1)",
     )
     part.add_argument(
         "--parts", type=int, default=None,
@@ -105,6 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--save", default=None,
         help="write the block of each vertex to this file",
     )
+    _add_runtime_args(part)
 
     place = sub.add_parser(
         "place", help="place a synthetic circuit and derive benchmarks"
@@ -140,10 +184,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", choices=("quick", "full"), default="quick"
     )
     exp.add_argument(
-        "--jobs", type=_jobs_arg, default=1,
+        "--jobs", type=_jobs_arg, default=_default_jobs(),
         help="worker processes for independent starts/runs "
-             "(0 = all cores; results are identical to --jobs 1)",
+             "(0 = all cores; REPRO_JOBS sets the default; results are "
+             "identical to --jobs 1)",
     )
+    _add_runtime_args(exp)
     return parser
 
 
@@ -181,6 +227,31 @@ def _load(args: argparse.Namespace) -> PartitioningInstance:
     return read_bookshelf(args.dir, args.name)
 
 
+def _partition_runtime(args: argparse.Namespace):
+    """(policy, checkpoint) for the partition command's runtime flags."""
+    from repro.experiments.reporting import RuntimeFlags
+
+    flags = RuntimeFlags(
+        resume=args.resume,
+        timeout=args.timeout,
+        max_retries=args.max_retries,
+    )
+    journal = flags.journal(
+        {
+            "command": "partition",
+            "dir": str(args.dir),
+            "name": args.name,
+            "engine": args.engine,
+            "starts": args.starts,
+            "seed": args.seed,
+            "parts": args.parts,
+            "cutoff": args.cutoff,
+        }
+    )
+    checkpoint = journal.batch("starts") if journal is not None else None
+    return flags.execution_policy(), checkpoint
+
+
 def _cmd_partition(args: argparse.Namespace) -> int:
     instance = _load(args)
     graph = instance.graph
@@ -189,6 +260,7 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     # given command line prints the same cut at every --jobs value (and
     # the same cut this CLI always printed).
     start_seeds = [args.seed + i for i in range(args.starts)]
+    policy, checkpoint = _partition_runtime(args)
     t0 = time.perf_counter()
     if args.engine == "kway":
         num_parts = args.parts or instance.num_parts
@@ -200,6 +272,8 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             num_starts=args.starts,
             seeds=start_seeds,
             jobs=args.jobs,
+            policy=policy,
+            checkpoint=checkpoint,
         )
     elif args.engine == "multilevel":
         if instance.num_parts != 2:
@@ -212,6 +286,8 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             num_starts=args.starts,
             seeds=start_seeds,
             jobs=args.jobs,
+            policy=policy,
+            checkpoint=checkpoint,
         )
     else:  # flat FM
         if instance.num_parts != 2:
@@ -225,10 +301,18 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             num_starts=args.starts,
             seeds=start_seeds,
             jobs=args.jobs,
+            policy=policy,
+            checkpoint=checkpoint,
         )
     best = batch.best()
     parts, cut = best.parts, best.cut
     elapsed = time.perf_counter() - t0
+    if batch.num_quarantined:
+        print(
+            f"WARNING: {batch.num_quarantined} of {batch.num_starts} "
+            "start(s) quarantined (see warnings above); best cut is "
+            "over the surviving starts"
+        )
 
     loads = block_loads(graph, parts, max(parts) + 1)
     print(
@@ -358,6 +442,24 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     jobs = str(args.jobs)
+    # The sweep experiments understand the shared runtime flags (see
+    # repro.experiments.reporting.parse_runtime_flags); forward them as
+    # --k=v tokens so positional interfaces stay untouched.
+    runtime = []
+    if args.resume is not None:
+        runtime.append(f"--resume={args.resume}")
+    if args.timeout is not None:
+        runtime.append(f"--timeout={args.timeout}")
+    if args.max_retries is not None:
+        runtime.append(f"--max-retries={args.max_retries}")
+    if runtime and args.which in (
+        "table1", "table4", "overconstrained", "suite-solutions"
+    ):
+        print(
+            f"WARNING: {args.which} does not support "
+            "--resume/--timeout/--max-retries; ignoring them"
+        )
+        runtime = []
     if args.which == "table1":
         from repro.experiments.table1 import main as run
 
@@ -365,11 +467,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     elif args.which == "table2":
         from repro.experiments.table2 import main as run
 
-        run([args.profile, jobs])
+        run([args.profile, jobs] + runtime)
     elif args.which == "table3":
         from repro.experiments.table3 import main as run
 
-        run([args.profile, jobs])
+        run([args.profile, jobs] + runtime)
     elif args.which == "table4":
         from repro.experiments.table4 import main as run
 
@@ -377,11 +479,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     elif args.which in ("fig1", "fig2"):
         from repro.experiments.figures import main as run
 
-        run([args.which, args.profile, jobs])
+        run([args.which, args.profile, jobs] + runtime)
     elif args.which == "multiway":
         from repro.experiments.multiway import main as run
 
-        run([args.profile, jobs])
+        run([args.profile, jobs] + runtime)
     elif args.which == "suite-solutions":
         from repro.experiments.suite_solutions import main as run
 

@@ -25,7 +25,7 @@ from repro.hypergraph.hypergraph import Hypergraph
 from repro.partition.balance import BalanceConstraint
 from repro.partition.fm import FMBipartitioner, FMConfig
 from repro.partition.initial import random_balanced_bipartition
-from repro.runtime import parallel_map
+from repro.runtime import Quarantined, parallel_map
 
 PAPER_CUTOFFS = (1.0, 0.5, 0.25, 0.10, 0.05)
 """Move-limit fractions: 1.0 is the uncut baseline column."""
@@ -162,6 +162,8 @@ def run_cutoff_study(
     good_solution: Optional[Sequence[int]] = None,
     policy: str = "lifo",
     jobs: int = 1,
+    exec_policy=None,
+    journal=None,
 ) -> CutoffStudy:
     """Run Table III's measurement (single-start LIFO FM per run).
 
@@ -169,13 +171,23 @@ def run_cutoff_study(
     are paired samples -- differences come from the cutoff alone.
     ``jobs > 1`` fans the runs of each column over a process pool; cuts
     and CPU seconds are identical to the serial run.
+
+    ``exec_policy`` (an :class:`repro.runtime.ExecutionPolicy`; named to
+    avoid the FM ``policy`` knob) and ``journal`` (a
+    :class:`repro.runtime.CheckpointJournal` or namespace view) opt into
+    the fault-tolerant runtime; quarantined runs are dropped from the
+    cell averages rather than aborting the table.
     """
     rng = random.Random(seed)
     if schedule is None:
         schedule = make_schedule(graph, seed=rng.getrandbits(32))
     if regime == "good" and good_solution is None:
         good_solution = find_good_solution(
-            graph, balance, seed=rng.getrandbits(32), jobs=jobs
+            graph, balance, seed=rng.getrandbits(32), jobs=jobs,
+            policy=exec_policy,
+            checkpoint=(
+                journal.batch("reference") if journal is not None else None
+            ),
         ).parts
     rand_fix_seed = rng.getrandbits(32)
 
@@ -196,7 +208,18 @@ def run_cutoff_study(
         init_seeds = [rng.getrandbits(32) for _ in range(runs)]
         for cutoff in cutoffs:
             task = _CutoffRunTask(graph, balance, fixture, policy, cutoff)
-            outcomes = parallel_map(task, init_seeds, jobs=jobs)
+            outcomes = parallel_map(
+                task,
+                init_seeds,
+                jobs=jobs,
+                policy=exec_policy,
+                checkpoint=(
+                    journal.batch(f"cutoff:{percent}:{cutoff}")
+                    if journal is not None
+                    else None
+                ),
+            )
+            outcomes = [o for o in outcomes if not isinstance(o, Quarantined)]
             cuts: List[int] = []
             seconds: List[float] = []
             cpu_seconds: List[float] = []

@@ -96,6 +96,8 @@ def run_difficulty_study(
     regimes: Sequence[str] = ("good", "rand"),
     reference_starts: Optional[int] = None,
     jobs: int = 1,
+    policy=None,
+    journal=None,
 ) -> DifficultyStudy:
     """Run the Section II experiment on one circuit.
 
@@ -109,6 +111,13 @@ def run_difficulty_study(
     ``jobs > 1`` fans each batch's starts over a process pool; cuts and
     the CPU-time column are identical to the serial run (per-start CPU
     time is measured with ``time.process_time`` inside the worker).
+
+    ``policy`` (an :class:`repro.runtime.ExecutionPolicy`) adds
+    per-start timeouts/retries/quarantine; ``journal`` (a
+    :class:`repro.runtime.CheckpointJournal` or namespace view) makes
+    every ``(regime, percent, trial)`` batch resumable -- a re-run with
+    the same journal skips completed starts and reproduces the study bit
+    for bit (see ``docs/robustness.md``).
     """
     if not starts_list or sorted(starts_list) != list(starts_list):
         raise ValueError("starts_list must be non-empty and ascending")
@@ -121,7 +130,8 @@ def run_difficulty_study(
         schedule = make_schedule(graph, percents=percents, seed=rng.getrandbits(32))
     good = find_good_solution(
         graph, balance, starts=reference_starts, seed=rng.getrandbits(32),
-        config=config, jobs=jobs,
+        config=config, jobs=jobs, policy=policy,
+        checkpoint=journal.batch("reference") if journal is not None else None,
     )
 
     study = DifficultyStudy(
@@ -147,7 +157,7 @@ def run_difficulty_study(
                 seed=rand_fix_seed,
             )
             best_instance = None
-            for _ in range(trials):
+            for trial in range(trials):
                 batch = multilevel_multistart(
                     graph,
                     balance,
@@ -156,6 +166,12 @@ def run_difficulty_study(
                     num_starts=max_starts,
                     seed=rng.getrandbits(32),
                     jobs=jobs,
+                    policy=policy,
+                    checkpoint=(
+                        journal.batch(f"{regime}:{percent}:trial{trial}")
+                        if journal is not None
+                        else None
+                    ),
                 )
                 for starts in starts_list:
                     key = (regime, percent, starts)

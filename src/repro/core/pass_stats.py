@@ -24,7 +24,7 @@ from repro.hypergraph.hypergraph import Hypergraph
 from repro.partition.balance import BalanceConstraint
 from repro.partition.fm import FMBipartitioner, FMConfig, PassRecord
 from repro.partition.initial import random_balanced_bipartition
-from repro.runtime import parallel_map
+from repro.runtime import Quarantined, parallel_map
 
 
 class _PassStatsRunTask:
@@ -145,6 +145,8 @@ def run_pass_stats_study(
     good_solution: Optional[Sequence[int]] = None,
     policy: str = "lifo",
     jobs: int = 1,
+    exec_policy=None,
+    journal=None,
 ) -> PassStatsStudy:
     """Run Table II's measurement.
 
@@ -154,13 +156,23 @@ def run_pass_stats_study(
     contribute to the pass count but not to the per-pass averages.
     ``jobs > 1`` fans the independent runs over a process pool without
     changing any statistic.
+
+    ``exec_policy`` (an :class:`repro.runtime.ExecutionPolicy`; named to
+    avoid the FM ``policy`` knob) and ``journal`` (a
+    :class:`repro.runtime.CheckpointJournal` or namespace view) opt into
+    the fault-tolerant runtime; quarantined runs are dropped from the
+    averages rather than aborting the table.
     """
     rng = random.Random(seed)
     if schedule is None:
         schedule = make_schedule(graph, seed=rng.getrandbits(32))
     if regime == "good" and good_solution is None:
         good_solution = find_good_solution(
-            graph, balance, seed=rng.getrandbits(32), jobs=jobs
+            graph, balance, seed=rng.getrandbits(32), jobs=jobs,
+            policy=exec_policy,
+            checkpoint=(
+                journal.batch("reference") if journal is not None else None
+            ),
         ).parts
     rand_fix_seed = rng.getrandbits(32)
 
@@ -175,7 +187,18 @@ def run_pass_stats_study(
         )
         task = _PassStatsRunTask(graph, balance, fixture, policy)
         init_seeds = [rng.getrandbits(32) for _ in range(runs)]
-        outcomes = parallel_map(task, init_seeds, jobs=jobs)
+        outcomes = parallel_map(
+            task,
+            init_seeds,
+            jobs=jobs,
+            policy=exec_policy,
+            checkpoint=(
+                journal.batch(f"pass_stats:{percent}")
+                if journal is not None
+                else None
+            ),
+        )
+        outcomes = [o for o in outcomes if not isinstance(o, Quarantined)]
         passes_per_run: List[int] = []
         moved: List[float] = []
         best_prefix: List[float] = []

@@ -140,15 +140,23 @@ def find_good_solution(
     seed: int = 0,
     config: Optional[MultilevelConfig] = None,
     jobs: int = 1,
+    policy=None,
+    checkpoint=None,
 ) -> Bipartition:
     """Best free-hypergraph solution over ``starts`` multilevel starts.
 
     This is the reference the "good" regime fixes vertices against, and
     the normaliser of the good-regime traces in Figs. 1-2.
+
+    ``policy`` (an :class:`repro.runtime.ExecutionPolicy`) and
+    ``checkpoint`` (a :class:`repro.runtime.CheckpointBatch`) opt into
+    the fault-tolerant runtime; the reference must come out of healthy
+    starts, so a fully-quarantined batch raises rather than silently
+    anchoring the good regime to nothing.
     """
     result = multilevel_multistart(
         graph, balance, num_starts=starts, seed=seed, config=config,
-        jobs=jobs,
+        jobs=jobs, policy=policy, checkpoint=checkpoint,
     )
     best = result.best()
     return Bipartition(parts=best.parts, cut=best.cut)

@@ -27,7 +27,7 @@ from repro.core.difficulty import (
     run_difficulty_study,
 )
 from repro.experiments.circuits import load_instance
-from repro.experiments.reporting import check, emit
+from repro.experiments.reporting import check, emit, parse_runtime_flags
 
 
 @dataclass(frozen=True)
@@ -70,17 +70,38 @@ PROFILES = {
 }
 
 
+def study_spec(
+    figure: str, profile: str, seed: int
+) -> dict:
+    """The checkpoint-journal spec of one figure invocation.
+
+    Excludes ``jobs`` (and the runtime flags themselves) on purpose: a
+    killed sweep may resume under a different pool size and still has to
+    be the same study.
+    """
+    return {
+        "experiment": "figures",
+        "figure": figure,
+        "profile": profile,
+        "seed": seed,
+    }
+
+
 def run_figure(
     figure: str = "fig1",
     profile: str = "quick",
     seed: int = 0,
     jobs: int = 1,
+    policy=None,
+    journal=None,
 ) -> DifficultyStudy:
     """Run one figure's difficulty study.
 
     ``jobs > 1`` fans every batch's starts over a process pool; the
     study is identical to a serial run (CPU columns are per-start
     ``time.process_time``, so they do not depend on the pool size).
+    ``policy``/``journal`` opt into the fault-tolerant runtime
+    (``docs/robustness.md``).
     """
     key = (figure, profile)
     if key not in PROFILES:
@@ -96,6 +117,8 @@ def run_figure(
         trials=spec.trials,
         seed=seed,
         jobs=jobs,
+        policy=policy,
+        journal=journal,
     )
 
 
@@ -168,11 +191,19 @@ def shape_checks(study: DifficultyStudy) -> List[Tuple[str, bool]]:
 
 def main(argv: Sequence[str] = ()) -> None:
     """CLI entry point."""
-    args = list(argv) or sys.argv[1:]
+    args, flags = parse_runtime_flags(list(argv) or sys.argv[1:])
     figure = args[0] if args else "fig1"
     profile = args[1] if len(args) > 1 else "quick"
     jobs = int(args[2]) if len(args) > 2 else 1
-    study = run_figure(figure, profile, jobs=jobs)
+    seed = 0
+    study = run_figure(
+        figure,
+        profile,
+        seed=seed,
+        jobs=jobs,
+        policy=flags.execution_policy(),
+        journal=flags.journal(study_spec(figure, profile, seed)),
+    )
     text = format_study(study)
     text += "\n\n" + "\n".join(
         check(label, ok) for label, ok in shape_checks(study)

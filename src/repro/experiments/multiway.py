@@ -24,7 +24,7 @@ from repro.core.regimes import (
     regime_fixture,
 )
 from repro.experiments.circuits import load_circuit
-from repro.experiments.reporting import check, emit
+from repro.experiments.reporting import check, emit, parse_runtime_flags
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.partition.balance import BalanceConstraint, relative_balance
 from repro.partition.multistart import kway_multistart
@@ -101,9 +101,12 @@ def _find_good_kway(
     starts: int,
     seed: int,
     jobs: int = 1,
+    policy=None,
+    checkpoint=None,
 ) -> Tuple[List[int], int]:
     batch = kway_multistart(
-        graph, balance, num_starts=starts, seed=seed, jobs=jobs
+        graph, balance, num_starts=starts, seed=seed, jobs=jobs,
+        policy=policy, checkpoint=checkpoint,
     )
     best = batch.best()
     return best.parts, best.cut
@@ -120,12 +123,15 @@ def run_multiway_study(
     seed: int = 0,
     schedule: FixedVertexSchedule = None,
     jobs: int = 1,
+    policy=None,
+    journal=None,
 ) -> MultiwayStudy:
     """Run the multiway difficulty study on one circuit.
 
     ``jobs > 1`` fans the independent k-way starts of every trial over a
     process pool; cuts are identical to the serial run and the CPU
-    column is per-start ``time.process_time``.
+    column is per-start ``time.process_time``.  ``policy``/``journal``
+    opt into the fault-tolerant runtime (``docs/robustness.md``).
     """
     if not starts_list or sorted(starts_list) != list(starts_list):
         raise ValueError("starts_list must be non-empty and ascending")
@@ -134,7 +140,9 @@ def run_multiway_study(
     if schedule is None:
         schedule = make_schedule(graph, seed=rng.getrandbits(32))
     good_parts, good_cut = _find_good_kway(
-        graph, balance, starts_list[-1], rng.getrandbits(32), jobs=jobs
+        graph, balance, starts_list[-1], rng.getrandbits(32), jobs=jobs,
+        policy=policy,
+        checkpoint=journal.batch("reference") if journal is not None else None,
     )
 
     study = MultiwayStudy(
@@ -170,7 +178,7 @@ def run_multiway_study(
                     ).randrange(num_parts)
                     for v, f in enumerate(fixture)
                 ]
-            for _ in range(trials):
+            for trial in range(trials):
                 start_seeds = [
                     rng.getrandbits(32) for _ in range(max_starts)
                 ]
@@ -181,19 +189,25 @@ def run_multiway_study(
                     num_starts=max_starts,
                     seeds=start_seeds,
                     jobs=jobs,
+                    policy=policy,
+                    checkpoint=(
+                        journal.batch(
+                            f"multiway:{regime}:{percent}:trial{trial}"
+                        )
+                        if journal is not None
+                        else None
+                    ),
                 )
-                trial_cuts = [s.cut for s in batch.starts]
-                trial_secs = [s.cpu_seconds for s in batch.starts]
                 for starts in starts_list:
                     key = (regime, percent, starts)
                     cuts.setdefault(key, []).append(
-                        min(trial_cuts[:starts])
+                        batch.best_of_first(starts).cut
                     )
                     secs.setdefault(key, []).append(
-                        sum(trial_secs[:starts])
+                        batch.cpu_seconds_of_first(starts)
                     )
                 seen_key = (regime, percent)
-                best = min(trial_cuts)
+                best = batch.best().cut
                 if seen_key not in best_seen or best < best_seen[seen_key]:
                     best_seen[seen_key] = best
 
@@ -273,8 +287,17 @@ PROFILE_SETTINGS = {
 }
 
 
+def study_spec(profile: str, seed: int) -> dict:
+    """Checkpoint-journal spec (excludes ``jobs``; see figures.py)."""
+    return {"experiment": "multiway", "profile": profile, "seed": seed}
+
+
 def run_multiway(
-    profile: str = "quick", seed: int = 0, jobs: int = 1
+    profile: str = "quick",
+    seed: int = 0,
+    jobs: int = 1,
+    policy=None,
+    journal=None,
 ) -> MultiwayStudy:
     """Profile wrapper used by the bench harness."""
     if profile not in PROFILE_SETTINGS:
@@ -288,15 +311,24 @@ def run_multiway(
         starts_list=settings["starts"],
         seed=seed,
         jobs=jobs,
+        policy=policy,
+        journal=journal,
     )
 
 
 def main(argv: Sequence[str] = ()) -> None:
     """CLI entry point."""
-    args = list(argv) or sys.argv[1:]
+    args, flags = parse_runtime_flags(list(argv) or sys.argv[1:])
     profile = args[0] if args else "quick"
     jobs = int(args[1]) if len(args) > 1 else 1
-    study = run_multiway(profile, jobs=jobs)
+    seed = 0
+    study = run_multiway(
+        profile,
+        seed=seed,
+        jobs=jobs,
+        policy=flags.execution_policy(),
+        journal=flags.journal(study_spec(profile, seed)),
+    )
     text = study.format_table()
     text += "\n\n" + "\n".join(
         check(label, ok) for label, ok in shape_checks(study)

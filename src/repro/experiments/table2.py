@@ -17,7 +17,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.core.pass_stats import PassStatsStudy, run_pass_stats_study
 from repro.experiments.circuits import load_instance
-from repro.experiments.reporting import check, emit
+from repro.experiments.reporting import check, emit, parse_runtime_flags
 
 PERCENTS = (0.0, 10.0, 20.0, 30.0)
 
@@ -27,10 +27,24 @@ PROFILE_SETTINGS = {
 }
 
 
+def study_spec(profile: str, seed: int) -> dict:
+    """Checkpoint-journal spec (excludes ``jobs``; see figures.py)."""
+    return {"experiment": "table2", "profile": profile, "seed": seed}
+
+
 def run_table2(
-    profile: str = "quick", seed: int = 0, jobs: int = 1
+    profile: str = "quick",
+    seed: int = 0,
+    jobs: int = 1,
+    policy=None,
+    journal=None,
 ) -> Dict[str, PassStatsStudy]:
-    """Run the pass-statistics study for the profile's circuits."""
+    """Run the pass-statistics study for the profile's circuits.
+
+    ``policy``/``journal`` opt into the fault-tolerant runtime; each
+    circuit gets its own journal namespace so the shared journal file
+    cannot mix their cells.
+    """
     if profile not in PROFILE_SETTINGS:
         raise KeyError(f"unknown profile {profile!r}")
     settings = PROFILE_SETTINGS[profile]
@@ -45,6 +59,8 @@ def run_table2(
             runs=settings["runs"],
             seed=seed,
             jobs=jobs,
+            exec_policy=policy,
+            journal=journal.namespace(name) if journal is not None else None,
         )
     return studies
 
@@ -80,10 +96,17 @@ def shape_checks(study: PassStatsStudy) -> List[Tuple[str, bool]]:
 
 def main(argv: Sequence[str] = ()) -> None:
     """CLI entry point."""
-    args = list(argv) or sys.argv[1:]
+    args, flags = parse_runtime_flags(list(argv) or sys.argv[1:])
     profile = args[0] if args else "quick"
     jobs = int(args[1]) if len(args) > 1 else 1
-    studies = run_table2(profile, jobs=jobs)
+    seed = 0
+    studies = run_table2(
+        profile,
+        seed=seed,
+        jobs=jobs,
+        policy=flags.execution_policy(),
+        journal=flags.journal(study_spec(profile, seed)),
+    )
     blocks = []
     for study in studies.values():
         block = study.format_table()

@@ -18,16 +18,20 @@ partition or ``-1``), which is exactly the paper's hard-fixture vector;
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
-from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.hypergraph import Hypergraph, HypergraphError
 from repro.partition.solution import FREE
 
 PathLike = Union[str, Path]
 
 
-class HgrFormatError(ValueError):
-    """Raised on malformed ``.hgr`` content."""
+class HgrFormatError(HypergraphError):
+    """Raised on malformed ``.hgr`` content.
+
+    Parser errors carry the file name and 1-based line number
+    (``file.hgr:3: ...``) so a bad line in a big netlist is findable.
+    """
 
 
 def write_hgr(graph: Hypergraph, path: PathLike) -> None:
@@ -68,59 +72,83 @@ def write_hgr(graph: Hypergraph, path: PathLike) -> None:
 
 
 def read_hgr(path: PathLike) -> Hypergraph:
-    """Parse a ``.hgr`` file into a :class:`Hypergraph`."""
-    raw_lines = [
-        line.split("%", 1)[0].strip()
-        for line in Path(path).read_text().splitlines()
-    ]
-    lines = [line for line in raw_lines if line]
+    """Parse a ``.hgr`` file into a :class:`Hypergraph`.
+
+    Malformed content raises :class:`HgrFormatError` (a
+    :class:`HypergraphError`) pointing at the offending
+    ``file:lineno``.
+    """
+    name = Path(path).name
+    # (1-based source line number, content) of every non-empty line,
+    # with % comments stripped -- kept paired so errors can name the
+    # actual line in the file, not its index among non-empty lines.
+    lines: List[Tuple[int, str]] = []
+    for lineno, raw in enumerate(
+        Path(path).read_text().splitlines(), start=1
+    ):
+        stripped = raw.split("%", 1)[0].strip()
+        if stripped:
+            lines.append((lineno, stripped))
     if not lines:
-        raise HgrFormatError("empty .hgr file")
-    header = lines[0].split()
+        raise HgrFormatError(f"{name}: empty .hgr file")
+    header_lineno, header_text = lines[0]
+    header = header_text.split()
     if len(header) < 2:
-        raise HgrFormatError(f"bad header: {lines[0]!r}")
+        raise HgrFormatError(
+            f"{name}:{header_lineno}: bad header: {header_text!r}"
+        )
     try:
         num_nets = int(header[0])
         num_vertices = int(header[1])
         fmt = int(header[2]) if len(header) > 2 else 0
     except ValueError as exc:
-        raise HgrFormatError(f"bad header: {lines[0]!r}") from exc
+        raise HgrFormatError(
+            f"{name}:{header_lineno}: bad header: {header_text!r}"
+        ) from exc
     if fmt not in (0, 1, 10, 11):
-        raise HgrFormatError(f"unsupported fmt code {fmt}")
+        raise HgrFormatError(
+            f"{name}:{header_lineno}: unsupported fmt code {fmt}"
+        )
     has_net_weights = fmt in (1, 11)
     has_vertex_weights = fmt in (10, 11)
 
     expected = 1 + num_nets + (num_vertices if has_vertex_weights else 0)
     if len(lines) != expected:
         raise HgrFormatError(
-            f"expected {expected} non-empty lines, found {len(lines)}"
+            f"{name}: expected {expected} non-empty lines, "
+            f"found {len(lines)} (truncated or overlong file?)"
         )
 
     nets: List[List[int]] = []
     weights: List[int] = []
     for i in range(num_nets):
-        tokens = lines[1 + i].split()
+        lineno, text = lines[1 + i]
+        tokens = text.split()
         try:
             values = [int(t) for t in tokens]
         except ValueError as exc:
-            raise HgrFormatError(f"bad net line: {lines[1 + i]!r}") from exc
+            raise HgrFormatError(
+                f"{name}:{lineno}: bad net line: {text!r}"
+            ) from exc
         if has_net_weights:
             if len(values) < 2:
                 raise HgrFormatError(
-                    f"net line {i} lacks pins: {lines[1 + i]!r}"
+                    f"{name}:{lineno}: net line {i} lacks pins: {text!r}"
                 )
             weights.append(values[0])
             pins = values[1:]
         else:
             if not values:
-                raise HgrFormatError(f"net line {i} is empty")
+                raise HgrFormatError(
+                    f"{name}:{lineno}: net line {i} is empty"
+                )
             weights.append(1)
             pins = values
         for p in pins:
             if not 1 <= p <= num_vertices:
                 raise HgrFormatError(
-                    f"net {i} references vertex {p} outside "
-                    f"[1, {num_vertices}]"
+                    f"{name}:{lineno}: net {i} references vertex {p} "
+                    f"outside [1, {num_vertices}]"
                 )
         nets.append([p - 1 for p in pins])
 
@@ -128,12 +156,12 @@ def read_hgr(path: PathLike) -> Hypergraph:
     if has_vertex_weights:
         areas = []
         for v in range(num_vertices):
-            line = lines[1 + num_nets + v]
+            lineno, text = lines[1 + num_nets + v]
             try:
-                areas.append(float(int(line.split()[0])))
+                areas.append(float(int(text.split()[0])))
             except (ValueError, IndexError) as exc:
                 raise HgrFormatError(
-                    f"bad vertex-weight line: {line!r}"
+                    f"{name}:{lineno}: bad vertex-weight line: {text!r}"
                 ) from exc
 
     return Hypergraph(
@@ -155,7 +183,9 @@ def read_fix_file(
     path: PathLike, num_vertices: Optional[int] = None
 ) -> List[int]:
     """Read an hMetis fix file into a fixture vector."""
+    name = Path(path).name
     values = []
+    linenos = []
     for lineno, line in enumerate(
         Path(path).read_text().splitlines(), start=1
     ):
@@ -166,16 +196,19 @@ def read_fix_file(
             values.append(int(stripped))
         except ValueError as exc:
             raise HgrFormatError(
-                f"{path}:{lineno}: bad fix value {stripped!r}"
+                f"{name}:{lineno}: bad fix value {stripped!r}"
             ) from exc
+        linenos.append(lineno)
     if num_vertices is not None and len(values) != num_vertices:
         raise HgrFormatError(
-            f"fix file has {len(values)} lines, expected {num_vertices}"
+            f"{name}: fix file has {len(values)} lines, "
+            f"expected {num_vertices}"
         )
     for i, f in enumerate(values):
         if f < FREE:
             raise HgrFormatError(
-                f"fix entry {i} is {f}; must be >= -1"
+                f"{name}:{linenos[i]}: fix entry {i} is {f}; "
+                "must be >= -1"
             )
     return values
 

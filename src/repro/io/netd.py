@@ -30,13 +30,17 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.hypergraph.builder import HypergraphBuilder
-from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.hypergraph import Hypergraph, HypergraphError
 
 PathLike = Union[str, Path]
 
 
-class NetDFormatError(ValueError):
-    """Raised on malformed ``.net`` / ``.are`` content."""
+class NetDFormatError(HypergraphError):
+    """Raised on malformed ``.net`` / ``.are`` content.
+
+    Parser errors carry the file name and 1-based line number
+    (``chip.net:12: ...``) so a bad line in a big netlist is findable.
+    """
 
 
 def write_netd(
@@ -98,26 +102,45 @@ def read_netd(
     name starts with ``p``).  Pads default to zero area, cells to unit
     area, unless the ``.are`` file says otherwise.
     """
-    text = Path(net_path).read_text()
-    tokens_per_line = [
-        line.split() for line in text.splitlines() if line.strip()
-    ]
-    if len(tokens_per_line) < 5:
-        raise NetDFormatError("truncated .net header")
-    header = tokens_per_line[:5]
+    net_name = Path(net_path).name
+    # (1-based source line number, tokens) of each non-empty line, so
+    # parse errors point at the real line in the file.
+    numbered: List[Tuple[int, List[str]]] = []
+    for lineno, line in enumerate(
+        Path(net_path).read_text().splitlines(), start=1
+    ):
+        if line.strip():
+            numbered.append((lineno, line.split()))
+    if len(numbered) < 5:
+        raise NetDFormatError(f"{net_name}: truncated .net header")
+    header = numbered[:5]
     try:
-        magic = int(header[0][0])
-        num_pins = int(header[1][0])
-        num_nets = int(header[2][0])
-        num_modules = int(header[3][0])
-        pad_offset = int(header[4][0])
+        magic = int(header[0][1][0])
+        num_pins = int(header[1][1][0])
+        num_nets = int(header[2][1][0])
+        num_modules = int(header[3][1][0])
+        pad_offset = int(header[4][1][0])
     except (ValueError, IndexError) as exc:
-        raise NetDFormatError(f"bad .net header: {exc}") from exc
+        bad = next(
+            (
+                (lineno, tokens)
+                for lineno, tokens in header
+                if not (tokens and tokens[0].lstrip("-").isdigit())
+            ),
+            header[0],
+        )
+        raise NetDFormatError(
+            f"{net_name}:{bad[0]}: bad .net header line: "
+            f"{' '.join(bad[1])!r}"
+        ) from exc
     if magic != 0:
-        raise NetDFormatError(f"unsupported .net magic {magic}")
+        raise NetDFormatError(
+            f"{net_name}:{header[0][0]}: unsupported .net magic {magic}"
+        )
     if not 0 <= pad_offset <= num_modules:
         raise NetDFormatError(
-            f"pad offset {pad_offset} outside [0, {num_modules}]"
+            f"{net_name}:{header[4][0]}: pad offset {pad_offset} "
+            f"outside [0, {num_modules}]"
         )
 
     builder = HypergraphBuilder()
@@ -133,43 +156,54 @@ def read_netd(
             nets_seen += 1
             current.clear()
 
-    for tokens in tokens_per_line[5:]:
+    for lineno, tokens in numbered[5:]:
         name = tokens[0]
         if len(tokens) < 2 or tokens[1] not in ("s", "l"):
             raise NetDFormatError(
-                f"bad pin line: {' '.join(tokens)!r} "
-                "(expected '<module> s|l [dir]')"
+                f"{net_name}:{lineno}: bad pin line: "
+                f"{' '.join(tokens)!r} (expected '<module> s|l [dir]')"
             )
         if tokens[1] == "s":
             flush()
         elif not current and nets_seen == 0:
-            raise NetDFormatError("first pin line must start a net ('s')")
+            raise NetDFormatError(
+                f"{net_name}:{lineno}: first pin line must start "
+                "a net ('s')"
+            )
         current.append(name)
         pins_seen += 1
     flush()
 
     if nets_seen != num_nets:
         raise NetDFormatError(
-            f".net declares {num_nets} nets but contains {nets_seen}"
+            f"{net_name}: declares {num_nets} nets but contains "
+            f"{nets_seen}"
         )
     if pins_seen != num_pins:
         raise NetDFormatError(
-            f".net declares {num_pins} pins but contains {pins_seen}"
+            f"{net_name}: declares {num_pins} pins but contains "
+            f"{pins_seen}"
         )
 
     areas_by_name: Dict[str, float] = {}
     if are_path is not None:
-        for line in Path(are_path).read_text().splitlines():
+        are_name = Path(are_path).name
+        for lineno, line in enumerate(
+            Path(are_path).read_text().splitlines(), start=1
+        ):
             tokens = line.split()
             if not tokens:
                 continue
             if len(tokens) < 2:
-                raise NetDFormatError(f"bad .are line: {line!r}")
+                raise NetDFormatError(
+                    f"{are_name}:{lineno}: bad .are line: {line!r}"
+                )
             try:
                 areas_by_name[tokens[0]] = float(tokens[1])
             except ValueError as exc:
                 raise NetDFormatError(
-                    f"bad area in .are line: {line!r}"
+                    f"{are_name}:{lineno}: bad area in .are line: "
+                    f"{line!r}"
                 ) from exc
 
     # Modules never referenced by a net still count toward num_modules.
@@ -184,7 +218,7 @@ def read_netd(
         extra += 1
     if builder.num_vertices != num_modules:
         raise NetDFormatError(
-            f".net declares {num_modules} modules but references "
+            f"{net_name}: declares {num_modules} modules but references "
             f"{builder.num_vertices}"
         )
 

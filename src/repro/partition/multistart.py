@@ -36,7 +36,13 @@ from repro.partition.multilevel import (
     MultilevelConfig,
 )
 from repro.partition.solution import Bipartition
-from repro.runtime import derive_start_seeds, parallel_map
+from repro.runtime import (
+    CheckpointBatch,
+    ExecutionPolicy,
+    Quarantined,
+    derive_start_seeds,
+    parallel_map,
+)
 
 
 @dataclass
@@ -46,12 +52,23 @@ class StartOutcome:
     ``seconds`` is wall-clock time; ``cpu_seconds`` is the executing
     process's ``time.process_time`` and is what CPU-cost reporting
     should use -- it does not change with the pool size.
+
+    A start that was quarantined by the fault-tolerant runtime (see
+    ``docs/robustness.md``) carries ``cut=None``, empty ``parts`` and
+    the quarantine reason; such null rows are excluded from
+    best-of/CPU aggregation instead of aborting the batch.
     """
 
-    cut: int
+    cut: Optional[int]
     parts: List[int]
     seconds: float
     cpu_seconds: float = 0.0
+    quarantined: Optional[str] = None
+
+    @property
+    def healthy(self) -> bool:
+        """True unless this start was quarantined."""
+        return self.quarantined is None
 
 
 @dataclass
@@ -65,13 +82,25 @@ class MultistartResult:
         """Number of starts executed."""
         return len(self.starts)
 
+    @property
+    def num_quarantined(self) -> int:
+        """Number of starts that came back as quarantined null rows."""
+        return sum(1 for s in self.starts if not s.healthy)
+
     def best_of_first(self, n: int) -> StartOutcome:
-        """Best outcome among the first ``n`` starts."""
+        """Best healthy outcome among the first ``n`` starts."""
         if not 1 <= n <= len(self.starts):
             raise ValueError(
                 f"need 1 <= n <= {len(self.starts)}, got {n}"
             )
-        return min(self.starts[:n], key=lambda s: s.cut)
+        healthy = [s for s in self.starts[:n] if s.healthy]
+        if not healthy:
+            reasons = [s.quarantined for s in self.starts[:n]]
+            raise RuntimeError(
+                f"all of the first {n} start(s) were quarantined: "
+                f"{reasons}"
+            )
+        return min(healthy, key=lambda s: s.cut)
 
     def best(self) -> StartOutcome:
         """Best outcome overall."""
@@ -108,6 +137,8 @@ def run_multistart(
     seed: int = 0,
     jobs: int = 1,
     seeds: Optional[Sequence[int]] = None,
+    policy: Optional[ExecutionPolicy] = None,
+    checkpoint: Optional[CheckpointBatch] = None,
 ) -> MultistartResult:
     """Execute ``run_one(seed_i)`` for ``num_starts`` derived seeds.
 
@@ -121,6 +152,11 @@ def run_multistart(
     then be picklable (the engine wrappers below are).  Results are
     identical to ``jobs=1`` by construction -- task ``i`` always runs
     with seed ``i`` and outcomes are collected in seed order.
+
+    ``policy`` turns on the fault-tolerant runtime (timeouts, retries,
+    quarantine); ``checkpoint`` journals every start so a killed batch
+    resumes past its completed starts.  A start the policy quarantines
+    becomes a null :class:`StartOutcome` carrying the reason.
     """
     if num_starts < 1:
         raise ValueError("num_starts must be positive")
@@ -133,9 +169,27 @@ def run_multistart(
             )
         start_seeds = list(seeds)
 
-    calls = parallel_map(run_one, start_seeds, jobs=jobs, timed=True)
+    calls = parallel_map(
+        run_one,
+        start_seeds,
+        jobs=jobs,
+        timed=True,
+        policy=policy,
+        checkpoint=checkpoint,
+    )
     result = MultistartResult()
     for call in calls:
+        if isinstance(call, Quarantined):
+            result.starts.append(
+                StartOutcome(
+                    cut=None,
+                    parts=[],
+                    seconds=0.0,
+                    cpu_seconds=0.0,
+                    quarantined=call.reason,
+                )
+            )
+            continue
         solution = call.value
         result.starts.append(
             StartOutcome(
@@ -262,10 +316,15 @@ def multilevel_multistart(
     seed: int = 0,
     jobs: int = 1,
     seeds: Optional[Sequence[int]] = None,
+    policy: Optional[ExecutionPolicy] = None,
+    checkpoint: Optional[CheckpointBatch] = None,
 ) -> MultistartResult:
     """Multistart over the multilevel engine."""
     task = MultilevelStartTask(graph, balance, fixture, config)
-    return run_multistart(task, num_starts, seed=seed, jobs=jobs, seeds=seeds)
+    return run_multistart(
+        task, num_starts, seed=seed, jobs=jobs, seeds=seeds,
+        policy=policy, checkpoint=checkpoint,
+    )
 
 
 def flat_fm_multistart(
@@ -277,10 +336,15 @@ def flat_fm_multistart(
     seed: int = 0,
     jobs: int = 1,
     seeds: Optional[Sequence[int]] = None,
+    policy: Optional[ExecutionPolicy] = None,
+    checkpoint: Optional[CheckpointBatch] = None,
 ) -> MultistartResult:
     """Multistart over flat FM from random balanced constructions."""
     task = FlatFMStartTask(graph, balance, fixture, config)
-    return run_multistart(task, num_starts, seed=seed, jobs=jobs, seeds=seeds)
+    return run_multistart(
+        task, num_starts, seed=seed, jobs=jobs, seeds=seeds,
+        policy=policy, checkpoint=checkpoint,
+    )
 
 
 def kway_multistart(
@@ -292,7 +356,12 @@ def kway_multistart(
     seed: int = 0,
     jobs: int = 1,
     seeds: Optional[Sequence[int]] = None,
+    policy: Optional[ExecutionPolicy] = None,
+    checkpoint: Optional[CheckpointBatch] = None,
 ) -> MultistartResult:
     """Multistart over the flat k-way construct-and-refine engine."""
     task = KWayStartTask(graph, balance, fixture, config)
-    return run_multistart(task, num_starts, seed=seed, jobs=jobs, seeds=seeds)
+    return run_multistart(
+        task, num_starts, seed=seed, jobs=jobs, seeds=seeds,
+        policy=policy, checkpoint=checkpoint,
+    )

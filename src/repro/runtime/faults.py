@@ -1,0 +1,176 @@
+"""Deterministic fault injection for the parallel runtime.
+
+The recovery paths of :func:`repro.runtime.parallel_map` -- worker
+crashes, per-item timeouts, task exceptions, corrupt checkpoint records
+-- are only trustworthy if they are *exercised*, so this module lets
+tests and the CI chaos job inject each fault at a precise, reproducible
+point:
+
+* ``crash@K``      -- the worker executing item ``K`` dies hard
+  (``os._exit``), which the driver observes as ``BrokenProcessPool``;
+* ``sleep@K:SECS`` -- item ``K`` sleeps ``SECS`` seconds before
+  running, to push it past a per-item timeout;
+* ``raise@K``      -- item ``K`` raises :class:`InjectedFault` before
+  running.
+
+A plan comes either from parameters (:class:`FaultPlan` passed to
+``parallel_map``) or from the environment (``REPRO_FAULTS`` holding the
+comma-separated spec above), so a chaos job can wrap *any* study
+invocation without touching its code.
+
+Each fault fires **once**: firing is recorded as a marker file in a
+state directory (``state_dir`` parameter or ``REPRO_FAULT_STATE``), so
+the retried item succeeds and recovery can be proven end to end.  The
+marker is created *before* the fault fires -- a crash cannot lose it.
+Without a state directory the faults fire on every attempt, which is
+what a test for retry *exhaustion* wants.
+
+:func:`corrupt_checkpoint_record` is the fourth fault: it flips a
+journal record's bytes in place so resume code must prove it skips (and
+recomputes) corrupt cells instead of trusting them.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+FAULTS_ENV = "REPRO_FAULTS"
+STATE_ENV = "REPRO_FAULT_STATE"
+
+CRASH_EXIT_CODE = 87
+"""Exit status of an injected worker crash (distinctive in CI logs)."""
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised by a ``raise@K`` fault."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Which faults to fire on which item indices.
+
+    ``crash_on`` / ``raise_on`` map item indices to themselves;
+    ``sleep_on`` maps item index to sleep seconds.  ``state_dir`` makes
+    every fault one-shot (see module docstring).
+    """
+
+    crash_on: Tuple[int, ...] = ()
+    raise_on: Tuple[int, ...] = ()
+    sleep_on: Dict[int, float] = field(default_factory=dict)
+    state_dir: Optional[str] = None
+
+    def is_empty(self) -> bool:
+        """True when the plan injects nothing."""
+        return not (self.crash_on or self.raise_on or self.sleep_on)
+
+    def _arm(self, kind: str, index: int) -> bool:
+        """True if the fault should fire (and mark it as fired).
+
+        With no state directory every attempt fires.  With one, the
+        marker file is created atomically (``O_EXCL``) before firing so
+        that even a crash fault fires exactly once.
+        """
+        if self.state_dir is None:
+            return True
+        marker = Path(self.state_dir) / f"{kind}-{index}"
+        try:
+            marker.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+    def fire(self, index: int) -> None:
+        """Fire whatever faults the plan holds for item ``index``.
+
+        Called by the worker immediately before executing the item
+        (and by the serial path -- a serial ``crash`` takes down the
+        driver itself, which is exactly what the kill-and-resume chaos
+        scenario exercises).
+        """
+        if index in self.sleep_on and self._arm("sleep", index):
+            time.sleep(self.sleep_on[index])
+        if index in self.crash_on and self._arm("crash", index):
+            os._exit(CRASH_EXIT_CODE)
+        if index in self.raise_on and self._arm("raise", index):
+            raise InjectedFault(f"injected failure on item {index}")
+
+
+def parse_fault_spec(
+    spec: str, state_dir: Optional[str] = None
+) -> FaultPlan:
+    """Parse a ``crash@K,sleep@K:SECS,raise@K`` spec string."""
+    crash = []
+    raise_ = []
+    sleep: Dict[int, float] = {}
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            kind, _, rest = token.partition("@")
+            if kind == "crash":
+                crash.append(int(rest))
+            elif kind == "raise":
+                raise_.append(int(rest))
+            elif kind == "sleep":
+                index_text, _, secs_text = rest.partition(":")
+                sleep[int(index_text)] = float(secs_text or "1.0")
+            else:
+                raise ValueError(f"unknown fault kind {kind!r}")
+        except ValueError as exc:
+            raise ValueError(
+                f"bad fault token {token!r} in {spec!r}: {exc}"
+            ) from exc
+    return FaultPlan(
+        crash_on=tuple(crash),
+        raise_on=tuple(raise_),
+        sleep_on=sleep,
+        state_dir=state_dir,
+    )
+
+
+def plan_from_env(
+    environ: Optional[Dict[str, str]] = None,
+) -> Optional[FaultPlan]:
+    """The ambient fault plan, or ``None`` when no faults are set.
+
+    Read in the *driver* process and shipped to workers through the
+    pool initializer, so it is immune to start-method quirks around
+    environment inheritance.
+    """
+    env = os.environ if environ is None else environ
+    spec = env.get(FAULTS_ENV, "").strip()
+    if not spec:
+        return None
+    plan = parse_fault_spec(spec, state_dir=env.get(STATE_ENV) or None)
+    return None if plan.is_empty() else plan
+
+
+def resolve_plan(plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
+    """Explicit plan if given, else the environment's."""
+    return plan if plan is not None else plan_from_env()
+
+
+def corrupt_checkpoint_record(
+    path: Union[str, Path], record_index: int = -1
+) -> str:
+    """Corrupt one JSONL record of a checkpoint journal, in place.
+
+    Replaces the record's tail with garbage that is not valid JSON.
+    Returns the line that was destroyed (tests use it to assert the
+    journal recomputes exactly that cell).
+    """
+    journal = Path(path)
+    lines = journal.read_text().splitlines()
+    if not lines:
+        raise ValueError(f"cannot corrupt empty journal {journal}")
+    victim = lines[record_index]
+    lines[record_index] = victim[: max(1, len(victim) // 2)] + "\x00garbage"
+    journal.write_text("\n".join(lines) + "\n")
+    return victim

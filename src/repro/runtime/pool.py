@@ -1,4 +1,4 @@
-"""Ordered process-pool map with a deterministic serial fallback.
+"""Ordered, fault-tolerant process-pool map with a serial fallback.
 
 :func:`parallel_map` is the single fan-out primitive of the repo.  Its
 contract:
@@ -10,41 +10,168 @@ contract:
 * ``jobs=1`` runs inline with zero pool machinery, and any environment
   where a process pool cannot be created or fed (sandboxes without
   ``fork``/semaphores, unpicklable closures) degrades to the same
-  serial path with a :class:`SerialFallbackWarning` -- results are
-  identical either way, only the wall clock changes.
+  serial path with a single :class:`SerialFallbackWarning` -- results
+  are identical either way, only the wall clock changes;
+* a worker that **crashes** or **hangs** no longer takes the study
+  down: the affected items are resubmitted to a respawned pool under a
+  deterministic :class:`RetryPolicy`, per-item wall-clock timeouts
+  reclaim hung workers, and an :class:`~repro.runtime.errors.ItemFailed`
+  (or, with ``quarantine=True``, a null-result
+  :class:`~repro.runtime.errors.Quarantined` row) marks the rare item
+  that keeps failing;
+* with a :class:`~repro.runtime.checkpoint.CheckpointBatch`, every
+  completed item is journaled durably and already-journaled items are
+  skipped -- a killed sweep resumes mid-table with bit-identical
+  results.
+
+Because per-item work is deterministic in the item alone (the repo-wide
+task contract), re-executing a lost item is always safe and always
+reproduces the result the uninterrupted run would have produced.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import random
+import time
+import traceback
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Callable, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
+from repro.runtime.checkpoint import CheckpointBatch, is_miss
+from repro.runtime.errors import (
+    ItemFailed,
+    PoolFault,
+    Quarantined,
+    QuarantineWarning,
+    WorkerCrash,
+    WorkerTimeout,
+    seed_of,
+)
+from repro.runtime.faults import FaultPlan, resolve_plan
 from repro.runtime.timing import timed_call
 
 
 class SerialFallbackWarning(RuntimeWarning):
-    """Emitted when a requested process pool degrades to serial."""
+    """Emitted (once per ``parallel_map`` call) when a requested
+    process pool degrades to serial.  The triggering exception is
+    chained as ``__cause__`` and also exposed as ``.cause``."""
 
 
-def resolve_jobs(jobs: Optional[int]) -> int:
+JOBS_ENV = "REPRO_JOBS"
+_JOBS_MESSAGE = "jobs must be >= 0 (0 = all cores), got {got}"
+
+
+def parse_jobs(value: Union[int, str]) -> int:
+    """Validate a ``jobs`` value from any source (CLI, env, API).
+
+    Accepts non-negative integers or their string forms; every caller
+    gets the same error message shape on rejection.
+    """
+    if isinstance(value, str):
+        try:
+            value = int(value.strip())
+        except ValueError:
+            raise ValueError(_JOBS_MESSAGE.format(got=repr(value))) from None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(_JOBS_MESSAGE.format(got=repr(value)))
+    if value < 0:
+        raise ValueError(_JOBS_MESSAGE.format(got=value))
+    return value
+
+
+def jobs_from_env(default: Optional[int] = None) -> Optional[int]:
+    """The ``REPRO_JOBS`` override, validated, or ``default`` if unset."""
+    raw = os.environ.get(JOBS_ENV)
+    if raw is None or not raw.strip():
+        return default
+    return parse_jobs(raw)
+
+
+def resolve_jobs(jobs: Optional[Union[int, str]]) -> int:
     """Normalise the ``jobs`` knob.
 
-    ``None`` or ``0`` means "one worker per available core" (respecting
-    CPU affinity masks where the platform exposes them); any positive
-    value is taken literally.
+    ``None`` means "``REPRO_JOBS`` if set, else one worker per core";
+    ``0`` means "one worker per available core" (respecting CPU
+    affinity masks where the platform exposes them); any positive value
+    is taken literally.  Strings are parsed with the same validation as
+    the CLI, so ``REPRO_JOBS`` values can be passed through verbatim.
     """
-    if jobs is None or jobs == 0:
+    if jobs is None:
+        jobs = jobs_from_env(default=0)
+    jobs = parse_jobs(jobs)
+    if jobs == 0:
         try:
             return max(1, len(os.sched_getaffinity(0)))
         except AttributeError:  # pragma: no cover - non-Linux
             return max(1, os.cpu_count() or 1)
-    if jobs < 0:
-        raise ValueError(f"jobs must be >= 0, got {jobs}")
     return jobs
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with deterministic exponential backoff.
+
+    ``max_attempts`` is the total execution budget per item (3 means:
+    first try plus two retries).  Backoff for attempt ``a`` is
+    ``min(backoff_max, backoff_base * backoff_factor**(a-1))`` scaled
+    by seeded jitter -- deterministic in ``(jitter_seed, item index,
+    attempt)``, so two runs of the same study back off identically.
+    ``retry_task_errors`` extends the retry budget to exceptions raised
+    *by the task itself* (off by default: a deterministic task raises
+    deterministically, so retrying is only useful against injected or
+    environmental flakiness).
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.25
+    jitter_seed: int = 0
+    retry_task_errors: bool = False
+
+    def delay(self, index: int, attempt: int) -> float:
+        """Backoff before retrying ``index`` after failed ``attempt``."""
+        bounded = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** max(0, attempt - 1),
+        )
+        rng = random.Random(f"{self.jitter_seed}:{index}:{attempt}")
+        return bounded * (1.0 + self.jitter * rng.random())
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """The fault-tolerance knobs of one ``parallel_map`` invocation.
+
+    ``timeout`` is the per-item wall-clock budget in seconds (measured
+    from the item's submission to a worker; the submission window never
+    exceeds the worker count, so queue wait does not eat the budget).
+    ``quarantine=True`` turns retry-exhausted items into
+    :class:`~repro.runtime.errors.Quarantined` null-result rows instead
+    of aborting the whole map.
+    """
+
+    timeout: Optional[float] = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    quarantine: bool = False
+
+
+DEFAULT_POLICY = ExecutionPolicy()
 
 
 # Per-worker state, installed once by the pool initializer.  Globals are
@@ -53,77 +180,414 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 # worker process instead of once per submitted item.
 _WORKER_TASK: Optional[Callable[[Any], Any]] = None
 _WORKER_TIMED = False
+_WORKER_PLAN: Optional[FaultPlan] = None
 
 
-def _init_worker(task: Callable[[Any], Any], timed: bool) -> None:
-    global _WORKER_TASK, _WORKER_TIMED
+def _init_worker(
+    task: Callable[[Any], Any], timed: bool, plan: Optional[FaultPlan]
+) -> None:
+    global _WORKER_TASK, _WORKER_TIMED, _WORKER_PLAN
     _WORKER_TASK = task
     _WORKER_TIMED = timed
+    _WORKER_PLAN = plan
 
 
-def _run_item(item: Any) -> Any:
+def _run_item(index: int, item: Any) -> Any:
     assert _WORKER_TASK is not None, "worker initializer did not run"
+    if _WORKER_PLAN is not None:
+        _WORKER_PLAN.fire(index)
     if _WORKER_TIMED:
         return timed_call(_WORKER_TASK, item)
     return _WORKER_TASK(item)
 
 
-def _serial_map(
-    task: Callable[[Any], Any], items: Sequence[Any], timed: bool
-) -> List[Any]:
-    if timed:
-        return [timed_call(task, item) for item in items]
-    return [task(item) for item in items]
+def _format_traceback(exc: BaseException) -> str:
+    return "".join(
+        traceback.format_exception(type(exc), exc, exc.__traceback__)
+    )
+
+
+def _warn_serial_fallback(message: str, cause: Optional[BaseException]) -> None:
+    warning = SerialFallbackWarning(
+        f"{message}; running serially"
+        + (f" (caused by {cause!r})" if cause is not None else "")
+    )
+    warning.__cause__ = cause
+    warning.cause = cause
+    warnings.warn(warning, stacklevel=3)
 
 
 def parallel_map(
     task: Callable[[Any], Any],
     items: Sequence[Any],
-    jobs: int = 1,
+    jobs: Optional[Union[int, str]] = 1,
     timed: bool = False,
+    policy: Optional[ExecutionPolicy] = None,
+    checkpoint: Optional[CheckpointBatch] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> List[Any]:
     """``[task(item) for item in items]``, fanned over ``jobs`` processes.
 
     ``task`` must be picklable (a module-level function or a dataclass
     instance with module-level class) when ``jobs > 1``; per-item work
     must be deterministic in the item alone, which is what makes the
-    output independent of ``jobs``.  With ``timed=True`` each result is
-    wrapped in a :class:`repro.runtime.timing.TimedCall` measured inside
-    the executing process.
+    output independent of ``jobs`` -- and makes re-executing items lost
+    to crashes, timeouts or a killed driver safe.  With ``timed=True``
+    each result is wrapped in a :class:`repro.runtime.timing.TimedCall`
+    measured inside the executing process.
 
-    Exceptions raised *by the task* propagate to the caller; failures of
-    the pool machinery itself trigger a serial re-run (the task contract
-    makes re-execution safe).
+    ``policy`` configures timeouts, retries and quarantine (see
+    :class:`ExecutionPolicy`); ``checkpoint`` makes completed items
+    durable and skips items already journaled; ``faults`` injects
+    deterministic failures for testing (defaults to the ``REPRO_FAULTS``
+    environment plan).
+
+    Exceptions raised *by the task* propagate to the caller unchanged
+    (unless retried or quarantined by ``policy``); failures of the pool
+    machinery itself are retried against respawned pools and degrade to
+    a serial re-run only as a last resort.
     """
     jobs = resolve_jobs(jobs)
     items = list(items)
-    jobs = min(jobs, len(items)) or 1
+    policy = policy or DEFAULT_POLICY
+    plan = resolve_plan(faults)
+
+    results: List[Any] = [None] * len(items)
+    pending: List[int] = list(range(len(items)))
+    if checkpoint is not None:
+        missing = []
+        for i in pending:
+            hit = checkpoint.lookup(i, items[i])
+            if is_miss(hit):
+                missing.append(i)
+            else:
+                results[i] = hit
+        pending = missing
+    if not pending:
+        return results
+
+    jobs = min(jobs, len(pending))
     if jobs <= 1:
-        return _serial_map(task, items, timed)
+        _serial_run(task, items, pending, results, timed,
+                    policy, checkpoint, plan)
+        return results
 
     try:
         payload = pickle.dumps(task)
     except Exception as exc:  # noqa: BLE001 - any pickling failure
-        warnings.warn(
-            f"task {task!r} is not picklable ({exc}); running serially",
-            SerialFallbackWarning,
-            stacklevel=2,
-        )
-        return _serial_map(task, items, timed)
+        _warn_serial_fallback(f"task {task!r} is not picklable", exc)
+        _serial_run(task, items, pending, results, timed,
+                    policy, checkpoint, plan)
+        return results
     del payload
 
-    chunksize = max(1, len(items) // (jobs * 4))
-    try:
-        with ProcessPoolExecutor(
-            max_workers=jobs,
-            initializer=_init_worker,
-            initargs=(task, timed),
-        ) as pool:
-            return list(pool.map(_run_item, items, chunksize=chunksize))
-    except (BrokenProcessPool, OSError, PermissionError) as exc:
-        warnings.warn(
-            f"process pool unavailable ({exc}); running serially",
-            SerialFallbackWarning,
-            stacklevel=2,
+    _pool_run(task, items, pending, results, jobs, timed,
+              policy, checkpoint, plan)
+    return results
+
+
+def _serial_run(
+    task: Callable[[Any], Any],
+    items: Sequence[Any],
+    pending: Sequence[int],
+    results: List[Any],
+    timed: bool,
+    policy: ExecutionPolicy,
+    checkpoint: Optional[CheckpointBatch],
+    plan: Optional[FaultPlan],
+) -> None:
+    """Inline execution honoring checkpoint/retry/quarantine.
+
+    Per-item timeouts do not apply inline (there is no worker to
+    reclaim); a serial ``crash`` fault takes down the driver itself,
+    which is the scenario the checkpoint journal exists for.
+    """
+    retry = policy.retry
+    for i in pending:
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                if plan is not None:
+                    plan.fire(i)
+                value = timed_call(task, items[i]) if timed else task(items[i])
+            except Exception as exc:  # noqa: BLE001 - routed by policy
+                if retry.retry_task_errors and attempt < retry.max_attempts:
+                    time.sleep(retry.delay(i, attempt))
+                    continue
+                _fail_item(i, items[i], attempt, exc, policy, checkpoint,
+                           results, raise_original=not retry.retry_task_errors)
+                break
+            results[i] = value
+            if checkpoint is not None:
+                checkpoint.record(i, items[i], value)
+            break
+
+
+def _fail_item(
+    index: int,
+    item: Any,
+    attempts: int,
+    fault: BaseException,
+    policy: ExecutionPolicy,
+    checkpoint: Optional[CheckpointBatch],
+    results: List[Any],
+    raise_original: bool = False,
+) -> None:
+    """Terminal handling of an item that exhausted its budget.
+
+    Quarantine leaves a :class:`Quarantined` null row (journaled with
+    its reason) and warns; otherwise the failure propagates -- as the
+    original exception for unretried task errors (back-compat), or as
+    a structured :class:`ItemFailed` chained to the last fault.
+    """
+    reason = f"{type(fault).__name__}: {fault}"
+    if policy.quarantine:
+        row = Quarantined(
+            index=index, seed=seed_of(item), attempts=attempts, reason=reason
         )
-        return _serial_map(task, items, timed)
+        results[index] = row
+        if checkpoint is not None:
+            checkpoint.record_quarantine(index, item, reason)
+        warnings.warn(
+            QuarantineWarning(
+                f"item {index} quarantined after {attempts} attempt(s): "
+                f"{reason}"
+            ),
+            stacklevel=4,
+        )
+        return
+    if raise_original and not isinstance(fault, PoolFault):
+        raise fault
+    failure = ItemFailed(
+        f"item {index} failed after {attempts} attempt(s): {reason}",
+        index=index,
+        seed=seed_of(item),
+        attempt=attempts,
+        traceback_text=(
+            fault.traceback_text
+            if isinstance(fault, PoolFault)
+            else _format_traceback(fault)
+        ),
+    )
+    raise failure from fault
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Hard-stop a pool whose workers may be hung or dead."""
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:  # noqa: BLE001 - best-effort teardown
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # noqa: BLE001 - best-effort teardown
+        pass
+
+
+def _pool_run(
+    task: Callable[[Any], Any],
+    items: Sequence[Any],
+    pending: Sequence[int],
+    results: List[Any],
+    jobs: int,
+    timed: bool,
+    policy: ExecutionPolicy,
+    checkpoint: Optional[CheckpointBatch],
+    plan: Optional[FaultPlan],
+) -> None:
+    """The hardened parallel engine (windowed submission).
+
+    At most ``jobs`` items are in flight, so a submitted item starts
+    (almost) immediately and its per-item deadline measures run time,
+    not queue time.  Worker crashes and timeouts tear the pool down,
+    requeue the lost items (counting an attempt only against the items
+    actually implicated), and respawn; repeated barren respawns degrade
+    to the serial path.
+    """
+    retry = policy.retry
+    queue = deque(pending)
+    attempts: Dict[int, int] = {i: 0 for i in pending}
+    pool: Optional[ProcessPoolExecutor] = None
+    in_flight: Dict[Any, int] = {}
+    deadlines: Dict[Any, float] = {}
+    completed_since_spawn = 0
+    barren_spawns = 0
+
+    def fallback_serial(message: str, cause: Optional[BaseException]) -> None:
+        remaining = sorted(set(queue) | set(in_flight.values()))
+        in_flight.clear()
+        deadlines.clear()
+        if pool is not None:
+            _terminate_pool(pool)
+        _warn_serial_fallback(message, cause)
+        _serial_run(task, items, remaining, results, timed,
+                    policy, checkpoint, plan)
+
+    def retire(index: int, fault: PoolFault) -> bool:
+        """Count a failed attempt; requeue or terminally fail.
+
+        Returns True when the engine should keep going (the item was
+        requeued or quarantined)."""
+        attempts[index] += 1
+        if attempts[index] < retry.max_attempts:
+            queue.append(index)
+            return True
+        if policy.quarantine:
+            _fail_item(index, items[index], attempts[index], fault,
+                       policy, checkpoint, results)
+            return True
+        if pool is not None:
+            _terminate_pool(pool)
+        _fail_item(index, items[index], attempts[index], fault,
+                   policy, checkpoint, results)
+        return False  # pragma: no cover - _fail_item raised
+
+    while queue or in_flight:
+        if pool is None:
+            try:
+                pool = ProcessPoolExecutor(
+                    max_workers=jobs,
+                    initializer=_init_worker,
+                    initargs=(task, timed, plan),
+                )
+            except (OSError, PermissionError, ValueError) as exc:
+                fallback_serial("process pool unavailable", exc)
+                return
+            completed_since_spawn = 0
+
+        try:
+            while queue and len(in_flight) < jobs:
+                i = queue.popleft()
+                future = pool.submit(_run_item, i, items[i])
+                in_flight[future] = i
+                if policy.timeout is not None:
+                    deadlines[future] = time.monotonic() + policy.timeout
+        except (OSError, PermissionError, RuntimeError) as exc:
+            fallback_serial("process pool cannot accept work", exc)
+            return
+
+        wait_timeout = None
+        if deadlines:
+            wait_timeout = max(
+                0.0, min(deadlines.values()) - time.monotonic()
+            )
+        wait(set(in_flight), timeout=wait_timeout,
+             return_when=FIRST_COMPLETED)
+
+        # Harvest everything that finished (the wait() set may lag).
+        crash: Optional[BrokenProcessPool] = None
+        for future in [f for f in in_flight if f.done()]:
+            i = in_flight.pop(future)
+            deadlines.pop(future, None)
+            try:
+                value = future.result()
+            except BrokenProcessPool as exc:
+                crash = exc
+                fault = WorkerCrash(
+                    f"worker died while running item {i} "
+                    f"(attempt {attempts[i] + 1}): {exc}",
+                    index=i,
+                    seed=seed_of(items[i]),
+                    attempt=attempts[i] + 1,
+                )
+                fault.__cause__ = exc
+                retire(i, fault)
+                continue
+            except Exception as exc:  # noqa: BLE001 - task-level error
+                if retry.retry_task_errors:
+                    fault = ItemFailed(
+                        f"task error on item {i}: {exc}",
+                        index=i,
+                        seed=seed_of(items[i]),
+                        attempt=attempts[i] + 1,
+                        traceback_text=_format_traceback(exc),
+                    )
+                    fault.__cause__ = exc
+                    if retire(i, fault):
+                        time.sleep(retry.delay(i, attempts[i]))
+                        continue
+                if policy.quarantine:
+                    attempts[i] += 1
+                    _fail_item(i, items[i], attempts[i], exc,
+                               policy, checkpoint, results)
+                    continue
+                _terminate_pool(pool)
+                raise exc
+            results[i] = value
+            completed_since_spawn += 1
+            if checkpoint is not None:
+                checkpoint.record(i, items[i], value)
+
+        if crash is not None:
+            # Every other in-flight item died with the pool; they are
+            # lost, not implicated, so they are requeued with an
+            # attempt charged (any of them may be the killer -- a
+            # persistent one exhausts its own budget).
+            for future, i in list(in_flight.items()):
+                fault = WorkerCrash(
+                    f"worker pool collapsed while item {i} was in "
+                    f"flight (attempt {attempts[i] + 1}): {crash}",
+                    index=i,
+                    seed=seed_of(items[i]),
+                    attempt=attempts[i] + 1,
+                )
+                fault.__cause__ = crash
+                retire(i, fault)
+            in_flight.clear()
+            deadlines.clear()
+            _terminate_pool(pool)
+            pool = None
+            if completed_since_spawn == 0:
+                barren_spawns += 1
+                if barren_spawns >= retry.max_attempts:
+                    fallback_serial(
+                        f"process pool broke {barren_spawns} times "
+                        "without completing any item", crash,
+                    )
+                    return
+            else:
+                barren_spawns = 0
+            time.sleep(retry.delay(min(attempts, default=0), barren_spawns + 1))
+            continue
+
+        if policy.timeout is not None and in_flight:
+            now = time.monotonic()
+            expired = [
+                (future, i)
+                for future, i in in_flight.items()
+                if deadlines.get(future, now + 1) <= now
+                and not future.done()
+            ]
+            if expired:
+                # A hung worker cannot be reclaimed individually;
+                # nuke the pool, charge the expired items an attempt,
+                # and requeue the innocent bystanders for free.
+                survivors = [
+                    i for future, i in in_flight.items()
+                    if (future, i) not in expired and not future.done()
+                ]
+                in_flight.clear()
+                deadlines.clear()
+                _terminate_pool(pool)
+                pool = None
+                for i in survivors:
+                    queue.append(i)
+                delay = 0.0
+                for future, i in expired:
+                    fault = WorkerTimeout(
+                        f"item {i} exceeded its {policy.timeout:.3g}s "
+                        f"wall-clock budget (attempt {attempts[i] + 1})",
+                        index=i,
+                        timeout=policy.timeout,
+                        seed=seed_of(items[i]),
+                        attempt=attempts[i] + 1,
+                    )
+                    if retire(i, fault):
+                        delay = max(delay, retry.delay(i, attempts[i]))
+                time.sleep(delay)
+
+    if pool is not None:
+        pool.shutdown(wait=True)

@@ -1,0 +1,165 @@
+"""Parser-failure tests: truncated and garbage netlists must raise
+:class:`HypergraphError` subclasses that name the file and the 1-based
+line of the offending content."""
+
+import pytest
+
+from repro.hypergraph.hypergraph import HypergraphError
+from repro.io.hgr import HgrFormatError, read_fix_file, read_hgr
+from repro.io.netd import NetDFormatError, read_netd
+
+
+def _write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+class TestHgrFailures:
+    def test_error_is_a_hypergraph_error(self, tmp_path):
+        path = _write(tmp_path, "bad.hgr", "not a header\n")
+        with pytest.raises(HypergraphError):
+            read_hgr(path)
+
+    def test_empty_file(self, tmp_path):
+        path = _write(tmp_path, "empty.hgr", "% only a comment\n\n")
+        with pytest.raises(HgrFormatError, match=r"empty\.hgr: empty"):
+            read_hgr(path)
+
+    def test_garbage_header_names_line(self, tmp_path):
+        path = _write(tmp_path, "g.hgr", "% banner\ntwo three\n")
+        with pytest.raises(HgrFormatError, match=r"g\.hgr:2: bad header"):
+            read_hgr(path)
+
+    def test_unsupported_fmt_code(self, tmp_path):
+        path = _write(tmp_path, "f.hgr", "1 2 7\n1 2\n")
+        with pytest.raises(
+            HgrFormatError, match=r"f\.hgr:1: unsupported fmt code 7"
+        ):
+            read_hgr(path)
+
+    def test_truncated_file(self, tmp_path):
+        path = _write(tmp_path, "t.hgr", "3 4\n1 2\n2 3\n")
+        with pytest.raises(HgrFormatError, match=r"truncated"):
+            read_hgr(path)
+
+    def test_garbage_net_line_names_line(self, tmp_path):
+        path = _write(tmp_path, "n.hgr", "2 3\n1 2\n2 x\n")
+        with pytest.raises(
+            HgrFormatError, match=r"n\.hgr:3: bad net line"
+        ):
+            read_hgr(path)
+
+    def test_pin_out_of_range_names_line(self, tmp_path):
+        path = _write(tmp_path, "r.hgr", "1 2\n1 5\n")
+        with pytest.raises(
+            HgrFormatError, match=r"r\.hgr:2: net 0 references vertex 5"
+        ):
+            read_hgr(path)
+
+    def test_comment_lines_do_not_shift_reported_lineno(self, tmp_path):
+        # The bad net line is the 5th physical line; comments and blanks
+        # above it must not make the parser report line 3.
+        text = "% header comment\n\n2 2\n1 2\n% mid comment\nbogus\n"
+        path = _write(tmp_path, "c.hgr", text)
+        with pytest.raises(
+            HgrFormatError, match=r"c\.hgr:6: bad net line"
+        ):
+            read_hgr(path)
+
+    def test_garbage_vertex_weight_names_line(self, tmp_path):
+        path = _write(tmp_path, "w.hgr", "1 2 10\n1 2\n3\nheavy\n")
+        with pytest.raises(
+            HgrFormatError, match=r"w\.hgr:4: bad vertex-weight line"
+        ):
+            read_hgr(path)
+
+
+class TestFixFileFailures:
+    def test_garbage_value_names_line(self, tmp_path):
+        path = _write(tmp_path, "v.fix", "0\n1\nmaybe\n")
+        with pytest.raises(
+            HgrFormatError, match=r"v\.fix:3: bad fix value"
+        ):
+            read_fix_file(path)
+
+    def test_out_of_range_value_names_line(self, tmp_path):
+        path = _write(tmp_path, "o.fix", "0\n-3\n")
+        with pytest.raises(HgrFormatError, match=r"o\.fix:2: fix entry 1"):
+            read_fix_file(path)
+
+    def test_length_mismatch_names_file(self, tmp_path):
+        path = _write(tmp_path, "l.fix", "0\n1\n")
+        with pytest.raises(
+            HgrFormatError, match=r"l\.fix: fix file has 2 lines"
+        ):
+            read_fix_file(path, num_vertices=3)
+
+
+GOOD_NET = "0\n4\n2\n3\n3\na0 s\na1 l\na1 s\na2 l\n"
+
+
+class TestNetDFailures:
+    def test_error_is_a_hypergraph_error(self, tmp_path):
+        path = _write(tmp_path, "x.net", "garbage\n")
+        with pytest.raises(HypergraphError):
+            read_netd(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = _write(tmp_path, "t.net", "0\n4\n")
+        with pytest.raises(
+            NetDFormatError, match=r"t\.net: truncated \.net header"
+        ):
+            read_netd(path)
+
+    def test_garbage_header_names_line(self, tmp_path):
+        path = _write(tmp_path, "h.net", "0\n4\ntwo\n3\n3\n")
+        with pytest.raises(
+            NetDFormatError, match=r"h\.net:3: bad \.net header"
+        ):
+            read_netd(path)
+
+    def test_bad_magic_names_line(self, tmp_path):
+        path = _write(tmp_path, "m.net", "9\n4\n2\n3\n3\na0 s\n")
+        with pytest.raises(
+            NetDFormatError, match=r"m\.net:1: unsupported \.net magic 9"
+        ):
+            read_netd(path)
+
+    def test_bad_pin_line_names_line(self, tmp_path):
+        text = "0\n4\n2\n3\n3\na0 s\na1 q\na1 s\na2 l\n"
+        path = _write(tmp_path, "p.net", text)
+        with pytest.raises(
+            NetDFormatError, match=r"p\.net:7: bad pin line"
+        ):
+            read_netd(path)
+
+    def test_first_pin_must_start_a_net(self, tmp_path):
+        path = _write(tmp_path, "s.net", "0\n1\n1\n1\n1\na0 l\n")
+        with pytest.raises(
+            NetDFormatError, match=r"s\.net:6: first pin line"
+        ):
+            read_netd(path)
+
+    def test_count_mismatch_names_file(self, tmp_path):
+        path = _write(tmp_path, "c.net", "0\n4\n5\n3\n3\na0 s\na1 l\n")
+        with pytest.raises(
+            NetDFormatError, match=r"c\.net: declares 5 nets"
+        ):
+            read_netd(path)
+
+    def test_bad_are_line_names_line(self, tmp_path):
+        net = _write(tmp_path, "ok.net", GOOD_NET)
+        are = _write(tmp_path, "bad.are", "a0 1\na1 wide\na2 1\n")
+        with pytest.raises(
+            NetDFormatError, match=r"bad\.are:2: bad area"
+        ):
+            read_netd(net, are)
+
+    def test_short_are_line_names_line(self, tmp_path):
+        net = _write(tmp_path, "ok.net", GOOD_NET)
+        are = _write(tmp_path, "short.are", "a0 1\na1\n")
+        with pytest.raises(
+            NetDFormatError, match=r"short\.are:2: bad \.are line"
+        ):
+            read_netd(net, are)

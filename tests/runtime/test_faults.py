@@ -1,0 +1,77 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.runtime import (
+    FaultPlan,
+    InjectedFault,
+    parse_fault_spec,
+    plan_from_env,
+)
+from repro.runtime.faults import FAULTS_ENV, STATE_ENV
+
+
+class TestParseFaultSpec:
+    def test_full_spec(self):
+        plan = parse_fault_spec("crash@3,sleep@1:2.5,raise@0")
+        assert plan.crash_on == (3,)
+        assert plan.raise_on == (0,)
+        assert plan.sleep_on == {1: 2.5}
+
+    def test_sleep_defaults_to_one_second(self):
+        assert parse_fault_spec("sleep@4").sleep_on == {4: 1.0}
+
+    def test_empty_tokens_ignored(self):
+        plan = parse_fault_spec(" crash@1 , ,raise@2 ")
+        assert plan.crash_on == (1,)
+        assert plan.raise_on == (2,)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="bad fault token"):
+            parse_fault_spec("explode@1")
+
+    def test_bad_index_rejected(self):
+        with pytest.raises(ValueError, match="bad fault token"):
+            parse_fault_spec("crash@abc")
+
+
+class TestPlanFromEnv:
+    def test_absent_means_none(self):
+        assert plan_from_env({}) is None
+        assert plan_from_env({FAULTS_ENV: "  "}) is None
+
+    def test_spec_and_state_dir(self, tmp_path):
+        plan = plan_from_env(
+            {FAULTS_ENV: "raise@2", STATE_ENV: str(tmp_path)}
+        )
+        assert plan.raise_on == (2,)
+        assert plan.state_dir == str(tmp_path)
+
+
+class TestFiring:
+    def test_raise_fault_fires(self):
+        plan = FaultPlan(raise_on=(5,))
+        plan.fire(4)  # not armed for this index
+        with pytest.raises(InjectedFault, match="item 5"):
+            plan.fire(5)
+
+    def test_without_state_dir_fires_every_attempt(self):
+        plan = FaultPlan(raise_on=(1,))
+        for _ in range(3):
+            with pytest.raises(InjectedFault):
+                plan.fire(1)
+
+    def test_state_dir_makes_faults_one_shot(self, tmp_path):
+        plan = FaultPlan(raise_on=(1,), state_dir=str(tmp_path))
+        with pytest.raises(InjectedFault):
+            plan.fire(1)
+        plan.fire(1)  # marker exists: the retried item succeeds
+        assert (tmp_path / "raise-1").exists()
+
+    def test_sleep_fault_sleeps(self):
+        import time
+
+        plan = FaultPlan(sleep_on={0: 0.05})
+        t0 = time.monotonic()
+        plan.fire(0)
+        assert time.monotonic() - t0 >= 0.04
