@@ -1,0 +1,302 @@
+"""Tracing overhead benchmark: the observe layer's cost contract.
+
+Measures the instrumented engines in three modes:
+
+* **uninstrumented** -- the engine body called directly (``_run``),
+  bypassing even the recorder check: the pre-instrumentation baseline;
+* **disabled** -- the public ``run()`` under the default null recorder:
+  what every user pays all the time;
+* **enabled** -- ``run()`` under a live :class:`TraceRecorder`: what a
+  ``--trace`` run pays.
+
+and gates (exit status) on the layer's two promises:
+
+* results are **bit-identical** in all three modes (tracing is purely
+  observational);
+* the **disabled** path stays within ``DISABLED_RATIO_MAX`` wall time
+  of the uninstrumented baseline (the disabled path is one attribute
+  read per engine run plus shared no-op spans on coarse call sites).
+
+The enabled-path ratio is recorded, and only gated against the very
+loose ``ENABLED_RATIO_MAX`` backstop -- full tracing is allowed to
+cost real time, it is not allowed to silently become pathological.
+A dispatch microbenchmark (ns per disabled-path primitive) is recorded
+so the per-call cost underlying the ratio gate is visible directly.
+
+Not collected by pytest (no ``test_`` prefix); run directly:
+
+    PYTHONPATH=src python benchmarks/observe_overhead.py [out.json] [ci|quick|full]
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import platform
+import random
+import sys
+import time
+from typing import Dict, List, Tuple
+
+from repro.hypergraph.generators import CircuitSpec, generate_circuit
+from repro.partition.balance import relative_bipartition_balance
+from repro.partition.fm import FMBipartitioner, FMConfig
+from repro.partition.multilevel import (
+    MultilevelBipartitioner,
+    MultilevelConfig,
+)
+from repro.runtime import observe
+from repro.runtime.observe import TraceRecorder
+from repro.runtime.observe.recorder import use
+
+DISABLED_RATIO_MAX = 1.25
+"""Gate: disabled-recorder wall time / uninstrumented wall time."""
+
+ENABLED_RATIO_MAX = 5.0
+"""Backstop gate: enabled-recorder wall time / disabled wall time."""
+
+REPS = {"ci": 5, "quick": 5, "full": 7}
+CELLS = {"ci": 600, "quick": 1200, "full": 2400}
+STARTS = {"ci": 4, "quick": 4, "full": 6}
+
+
+def _time_best(run_all, reps: int) -> Tuple[float, list]:
+    """Minimum wall time of ``reps`` executions (noise-robust: every
+    mode is deterministic, so repeats do identical work)."""
+    best = float("inf")
+    results = None
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            results = run_all()
+            elapsed = time.perf_counter() - t0
+            if elapsed < best:
+                best = elapsed
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return best, results
+
+
+def _fm_fingerprint(results) -> Tuple:
+    return tuple(
+        (
+            r.initial_cut,
+            r.solution.cut,
+            tuple(r.solution.parts),
+            tuple(r.passes),
+        )
+        for r in results
+    )
+
+
+def _ml_fingerprint(results) -> Tuple:
+    return tuple(
+        (
+            r.solution.cut,
+            tuple(r.solution.parts),
+            r.num_levels,
+            r.refinement_passes,
+        )
+        for r in results
+    )
+
+
+def _bench_fm(graph, num_starts: int, reps: int, seed: int) -> Dict:
+    """FM engine: all three modes over identical random starts."""
+    balance = relative_bipartition_balance(graph.total_area, 0.1)
+    engine = FMBipartitioner(
+        graph, balance, config=FMConfig(policy="clip")
+    )
+    rng = random.Random(seed)
+    starts = [
+        [rng.randint(0, 1) for _ in range(graph.num_vertices)]
+        for _ in range(num_starts)
+    ]
+
+    bare_s, bare = _time_best(
+        lambda: [engine._run(parts) for parts in starts], reps
+    )
+    disabled_s, disabled = _time_best(
+        lambda: [engine.run(parts) for parts in starts], reps
+    )
+
+    def _enabled():
+        with use(TraceRecorder()):
+            return [engine.run(parts) for parts in starts]
+
+    enabled_s, enabled = _time_best(_enabled, reps)
+
+    identical = (
+        _fm_fingerprint(bare)
+        == _fm_fingerprint(disabled)
+        == _fm_fingerprint(enabled)
+    )
+    return _entry(
+        "fm", bare_s, disabled_s, enabled_s, identical,
+        starts=num_starts,
+        cuts=[r.solution.cut for r in disabled],
+    )
+
+
+def _bench_multilevel(graph, num_starts: int, reps: int) -> Dict:
+    """Multilevel engine (coarsening + refinement): same three modes.
+
+    The ``_run`` baseline here bypasses the outer wrapper; the inner
+    coarsen/refine call sites keep their shared no-op spans, whose
+    per-call cost the dispatch microbenchmark bounds directly.
+    """
+    balance = relative_bipartition_balance(graph.total_area, 0.1)
+    engine = MultilevelBipartitioner(
+        graph, balance, config=MultilevelConfig(initial_starts=2)
+    )
+    seeds = list(range(num_starts))
+
+    bare_s, bare = _time_best(
+        lambda: [engine._run(seed) for seed in seeds], reps
+    )
+    disabled_s, disabled = _time_best(
+        lambda: [engine.run(seed) for seed in seeds], reps
+    )
+
+    def _enabled():
+        with use(TraceRecorder()):
+            return [engine.run(seed) for seed in seeds]
+
+    enabled_s, enabled = _time_best(_enabled, reps)
+
+    identical = (
+        _ml_fingerprint(bare)
+        == _ml_fingerprint(disabled)
+        == _ml_fingerprint(enabled)
+    )
+    return _entry(
+        "multilevel", bare_s, disabled_s, enabled_s, identical,
+        starts=num_starts,
+        cuts=[r.solution.cut for r in disabled],
+    )
+
+
+def _entry(
+    engine: str,
+    bare_s: float,
+    disabled_s: float,
+    enabled_s: float,
+    identical: bool,
+    **extra,
+) -> Dict:
+    disabled_ratio = disabled_s / bare_s if bare_s > 0 else 0.0
+    enabled_ratio = enabled_s / disabled_s if disabled_s > 0 else 0.0
+    return {
+        "engine": engine,
+        "uninstrumented_seconds": round(bare_s, 4),
+        "disabled_seconds": round(disabled_s, 4),
+        "enabled_seconds": round(enabled_s, 4),
+        "disabled_ratio": round(disabled_ratio, 4),
+        "enabled_ratio": round(enabled_ratio, 4),
+        "disabled_within_bound": disabled_ratio <= DISABLED_RATIO_MAX,
+        "enabled_within_bound": enabled_ratio <= ENABLED_RATIO_MAX,
+        "results_identical": identical,
+        **extra,
+    }
+
+
+def _dispatch_nanoseconds() -> Dict[str, float]:
+    """ns per disabled-path primitive (the costs the ratio gate bounds)."""
+    n = 200_000
+
+    def _ns(fn) -> float:
+        t0 = time.perf_counter()
+        fn()
+        return 1e9 * (time.perf_counter() - t0) / n
+
+    def _active_check():
+        active = observe.active
+        for _ in range(n):
+            rec = active()
+            if rec.enabled:  # pragma: no cover - null recorder
+                raise AssertionError
+
+    def _null_span():
+        rec = observe.active()
+        for _ in range(n):
+            with rec.span("x", k=1) as sp:
+                sp.set(v=2)
+
+    def _null_count():
+        rec = observe.active()
+        for _ in range(n):
+            rec.count("x")
+
+    return {
+        "active_plus_enabled_check_ns": round(_ns(_active_check), 1),
+        "null_span_with_set_ns": round(_ns(_null_span), 1),
+        "null_count_ns": round(_ns(_null_count), 1),
+    }
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    out_path = args[0] if args else "BENCH_observe.json"
+    profile = args[1] if len(args) > 1 else "quick"
+    if profile not in ("ci", "quick", "full"):
+        raise SystemExit(f"unknown profile {profile!r}; use ci|quick|full")
+
+    graph = generate_circuit(
+        CircuitSpec(num_cells=CELLS[profile]), seed=5
+    ).graph
+    print(
+        f"circuit-{CELLS[profile]}: {graph.num_vertices} vertices, "
+        f"{graph.num_nets} nets, {graph.num_pins} pins"
+    )
+
+    entries: List[Dict] = [
+        _bench_fm(graph, STARTS[profile], REPS[profile], seed=42),
+        _bench_multilevel(graph, max(2, STARTS[profile] // 2),
+                          REPS[profile]),
+    ]
+    for entry in entries:
+        print(
+            f"  {entry['engine']}: uninstrumented "
+            f"{entry['uninstrumented_seconds']:.3f}s, disabled "
+            f"{entry['disabled_seconds']:.3f}s "
+            f"({entry['disabled_ratio']:.3f}x), enabled "
+            f"{entry['enabled_seconds']:.3f}s "
+            f"({entry['enabled_ratio']:.3f}x of disabled), "
+            f"identical={entry['results_identical']}"
+        )
+
+    dispatch = _dispatch_nanoseconds()
+    print(
+        "  disabled-path primitives: "
+        + ", ".join(f"{k}={v}" for k, v in dispatch.items())
+    )
+
+    ok = all(
+        e["results_identical"]
+        and e["disabled_within_bound"]
+        and e["enabled_within_bound"]
+        for e in entries
+    )
+    payload = {
+        "benchmark": "observe overhead",
+        "profile": profile,
+        "python": platform.python_version(),
+        "disabled_ratio_max": DISABLED_RATIO_MAX,
+        "enabled_ratio_max": ENABLED_RATIO_MAX,
+        "dispatch_ns": dispatch,
+        "entries": entries,
+        "ok": ok,
+    }
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {out_path}")
+    print(f"overhead contract: {'OK' if ok else 'VIOLATED'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,6 +33,7 @@ from repro.partition import (
 )
 from repro.placement import build_suite, format_table, place_circuit
 from repro.runtime import jobs_from_env, parse_jobs
+from repro.runtime import observe
 
 ENGINES = ("multilevel", "fm", "kway")
 EXPERIMENTS = (
@@ -98,6 +99,21 @@ def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_observe_args(parser: argparse.ArgumentParser) -> None:
+    """The tracing knobs shared by partition and experiment."""
+    parser.add_argument(
+        "--trace", default=None, metavar="TRACE.json",
+        help="record a structured trace of this run (spans, counters, "
+             "histograms) and write it to this path; results are "
+             "bit-identical with or without tracing",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="METRICS.json",
+        help="write just the counters/histograms to this path "
+             "(lighter than a full --trace)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -149,6 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the block of each vertex to this file",
     )
     _add_runtime_args(part)
+    _add_observe_args(part)
 
     place = sub.add_parser(
         "place", help="place a synthetic circuit and derive benchmarks"
@@ -190,6 +207,13 @@ def build_parser() -> argparse.ArgumentParser:
              "identical to --jobs 1)",
     )
     _add_runtime_args(exp)
+    _add_observe_args(exp)
+
+    trace = sub.add_parser(
+        "trace", help="inspect a trace written by --trace"
+    )
+    trace.add_argument("action", choices=("summarize",))
+    trace.add_argument("path", help="trace JSON file")
     return parser
 
 
@@ -495,6 +519,32 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    # Imported lazily: summarize pulls in the study drivers, which the
+    # plain partition/experiment paths should not pay for.
+    from repro.runtime.observe.summarize import summarize_path
+
+    print(summarize_path(args.path))
+    return 0
+
+
+def _run_observed(handler, args: argparse.Namespace) -> int:
+    """Run ``handler`` under a trace recorder and write the outputs."""
+    recorder = observe.TraceRecorder(
+        meta={"command": args.command, "argv": " ".join(sys.argv[1:])}
+    )
+    with observe.use(recorder):
+        with recorder.span(f"cli.{args.command}"):
+            code = handler(args)
+    if args.trace:
+        recorder.save(args.trace)
+        print(f"trace written to {args.trace}")
+    if args.metrics_out:
+        recorder.save_metrics(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+    return code
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -508,8 +558,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "stats": _cmd_stats,
         "evaluate": _cmd_evaluate,
         "experiment": _cmd_experiment,
+        "trace": _cmd_trace,
     }
-    return handlers[args.command](args)
+    handler = handlers[args.command]
+    if getattr(args, "trace", None) or getattr(args, "metrics_out", None):
+        return _run_observed(handler, args)
+    return handler(args)
 
 
 if __name__ == "__main__":

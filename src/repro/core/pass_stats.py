@@ -25,6 +25,7 @@ from repro.partition.balance import BalanceConstraint
 from repro.partition.fm import FMBipartitioner, FMConfig, PassRecord
 from repro.partition.initial import random_balanced_bipartition
 from repro.runtime import Quarantined, parallel_map
+from repro.runtime.observe import recorder as _observe
 
 
 class _PassStatsRunTask:
@@ -163,72 +164,91 @@ def run_pass_stats_study(
     the fault-tolerant runtime; quarantined runs are dropped from the
     averages rather than aborting the table.
     """
+    recorder = _observe.active()
     rng = random.Random(seed)
     if schedule is None:
         schedule = make_schedule(graph, seed=rng.getrandbits(32))
-    if regime == "good" and good_solution is None:
-        good_solution = find_good_solution(
-            graph, balance, seed=rng.getrandbits(32), jobs=jobs,
-            policy=exec_policy,
-            checkpoint=(
-                journal.batch("reference") if journal is not None else None
-            ),
-        ).parts
-    rand_fix_seed = rng.getrandbits(32)
+    with recorder.span(
+        "study.pass_stats",
+        circuit=circuit_name,
+        regime=regime,
+        policy=policy,
+        runs=runs,
+    ):
+        if regime == "good" and good_solution is None:
+            # The reference run's fm.run spans are quarantined under
+            # their own span so trace consumers never confuse them with
+            # the measured runs of a ``study.percent``.
+            with recorder.span("study.reference"):
+                good_solution = find_good_solution(
+                    graph, balance, seed=rng.getrandbits(32), jobs=jobs,
+                    policy=exec_policy,
+                    checkpoint=(
+                        journal.batch("reference")
+                        if journal is not None
+                        else None
+                    ),
+                ).parts
+        rand_fix_seed = rng.getrandbits(32)
 
-    study = PassStatsStudy(circuit_name=circuit_name, regime=regime)
-    for percent in percents:
-        fixture = regime_fixture(
-            regime,
-            schedule,
-            percent,
-            good_solution=good_solution,
-            seed=rand_fix_seed,
-        )
-        task = _PassStatsRunTask(graph, balance, fixture, policy)
-        init_seeds = [rng.getrandbits(32) for _ in range(runs)]
-        outcomes = parallel_map(
-            task,
-            init_seeds,
-            jobs=jobs,
-            policy=exec_policy,
-            checkpoint=(
-                journal.batch(f"pass_stats:{percent}")
-                if journal is not None
-                else None
-            ),
-        )
-        outcomes = [o for o in outcomes if not isinstance(o, Quarantined)]
-        passes_per_run: List[int] = []
-        moved: List[float] = []
-        best_prefix: List[float] = []
-        wasted: List[float] = []
-        cuts: List[int] = []
-        for num_passes, cut, records in outcomes:
-            passes_per_run.append(num_passes)
-            cuts.append(cut)
-            for record in records[1:]:
-                if record.movable == 0:
-                    continue
-                moved.append(100.0 * record.moved_fraction)
-                if record.moves_made:
-                    best_prefix.append(
-                        100.0 * record.best_prefix_fraction
-                    )
-                    wasted.append(
-                        100.0 * record.wasted_moves / record.moves_made
-                    )
-        study.rows.append(
-            PassStatsRow(
-                percent=percent,
-                runs=runs,
-                avg_passes_per_run=_mean(passes_per_run),
-                avg_moved_percent=_mean(moved),
-                avg_best_prefix_percent=_mean(best_prefix),
-                avg_wasted_percent=_mean(wasted),
-                avg_final_cut=_mean(cuts),
+        study = PassStatsStudy(circuit_name=circuit_name, regime=regime)
+        for percent in percents:
+            fixture = regime_fixture(
+                regime,
+                schedule,
+                percent,
+                good_solution=good_solution,
+                seed=rand_fix_seed,
             )
-        )
+            task = _PassStatsRunTask(graph, balance, fixture, policy)
+            init_seeds = [rng.getrandbits(32) for _ in range(runs)]
+            with recorder.span(
+                "study.percent", percent=percent, runs=runs
+            ):
+                outcomes = parallel_map(
+                    task,
+                    init_seeds,
+                    jobs=jobs,
+                    policy=exec_policy,
+                    checkpoint=(
+                        journal.batch(f"pass_stats:{percent}")
+                        if journal is not None
+                        else None
+                    ),
+                )
+            outcomes = [
+                o for o in outcomes if not isinstance(o, Quarantined)
+            ]
+            passes_per_run: List[int] = []
+            moved: List[float] = []
+            best_prefix: List[float] = []
+            wasted: List[float] = []
+            cuts: List[int] = []
+            for num_passes, cut, records in outcomes:
+                passes_per_run.append(num_passes)
+                cuts.append(cut)
+                for record in records[1:]:
+                    if record.movable == 0:
+                        continue
+                    moved.append(100.0 * record.moved_fraction)
+                    if record.moves_made:
+                        best_prefix.append(
+                            100.0 * record.best_prefix_fraction
+                        )
+                        wasted.append(
+                            100.0 * record.wasted_moves / record.moves_made
+                        )
+            study.rows.append(
+                PassStatsRow(
+                    percent=percent,
+                    runs=runs,
+                    avg_passes_per_run=_mean(passes_per_run),
+                    avg_moved_percent=_mean(moved),
+                    avg_best_prefix_percent=_mean(best_prefix),
+                    avg_wasted_percent=_mean(wasted),
+                    avg_final_cut=_mean(cuts),
+                )
+            )
     return study
 
 

@@ -41,6 +41,7 @@ from array import array
 from typing import Dict, List, Optional, Sequence
 
 from repro.hypergraph.hypergraph import Hypergraph, HypergraphError
+from repro.runtime.observe import recorder as _observe
 
 
 class Contraction:
@@ -252,6 +253,12 @@ def contract(
         coarse_weights,
         areas,
     )
+    rec = _observe.active()
+    if rec.enabled:
+        rec.count("contract.calls")
+        rec.count("contract.vertices_removed", n - k)
+        rec.count("contract.nets_dropped", graph.num_nets - num_coarse_nets)
+        rec.count("contract.pins_dropped", len(net_pins) - total_pins)
     return Contraction(coarse=coarse, fine_to_coarse=list(clusters))
 
 

@@ -59,6 +59,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.partition.balance import BalanceConstraint
 from repro.partition.gainbucket import GainBucket
+from repro.runtime.observe import recorder as _observe
 from repro.partition.solution import (
     FREE,
     Bipartition,
@@ -171,6 +172,51 @@ def _resize_zq(arr: array, length: int) -> None:
         del arr[length:]
     elif cur < length:
         arr.extend(array("q", bytes(8 * (length - cur))))
+
+
+def _record_fm_run(recorder, span, config: FMConfig, result: FMResult) -> None:
+    """Emit the trace of one completed FM run (enabled recorders only).
+
+    Everything here is read off the result's pass records, so the
+    kernel's hot loop carries zero instrumentation.  Bucket traffic is
+    derived rather than counted in the loop: each pass inserts every
+    movable vertex once and each executed move pops one entry.  A pass
+    "triggers the cutoff" when its move count reached the Section III
+    limit while movable vertices remained.
+    """
+    span.set(
+        initial_cut=result.initial_cut,
+        final_cut=result.solution.cut,
+        passes=result.num_passes,
+    )
+    recorder.count("fm.runs")
+    recorder.count("fm.passes", result.num_passes)
+    recorder.count("fm.moves", result.total_moves)
+    fraction = config.pass_move_limit_fraction
+    for record in result.passes:
+        recorder.event(
+            "fm.pass",
+            pass_index=record.pass_index,
+            movable=record.movable,
+            moves_made=record.moves_made,
+            best_prefix=record.best_prefix,
+            cut_before=record.cut_before,
+            cut_after=record.cut_after,
+            feasible_after=record.feasible_after,
+        )
+        recorder.count("fm.best_prefix_moves", record.best_prefix)
+        recorder.count("fm.wasted_moves", record.wasted_moves)
+        recorder.count("fm.bucket.inserts", record.movable)
+        recorder.count("fm.bucket.pops", record.moves_made)
+        recorder.hist("fm.pass.moves", record.moves_made)
+        recorder.hist("fm.pass.best_prefix", record.best_prefix)
+        if (
+            record.pass_index > 0
+            and fraction < 1.0
+            and record.moves_made < record.movable
+            and record.moves_made == max(1, int(fraction * record.movable))
+        ):
+            recorder.count("fm.cutoff_triggers")
 
 
 class FMBipartitioner:
@@ -352,7 +398,31 @@ class FMBipartitioner:
         ``initial_parts`` (e.g. the multilevel driver, whose projections
         preserve the cut) skip the O(pins) ``cut_size`` evaluation; it is
         trusted, so it must be exact.
+
+        With a :mod:`repro.runtime.observe` recorder active, the run is
+        wrapped in an ``fm.run`` span carrying one ``fm.pass`` event per
+        pass -- emitted *after* the kernel returns, from the pass records
+        it produces anyway, so the move sequence is untouched and traced
+        runs stay bit-identical to untraced ones.
         """
+        recorder = _observe.active()
+        if not recorder.enabled:
+            return self._run(initial_parts, initial_cut)
+        with recorder.span(
+            "fm.run",
+            policy=self.config.policy,
+            movable=len(self._movable),
+        ) as span:
+            result = self._run(initial_parts, initial_cut)
+            _record_fm_run(recorder, span, self.config, result)
+        return result
+
+    def _run(
+        self,
+        initial_parts: Sequence[int],
+        initial_cut: Optional[int] = None,
+    ) -> FMResult:
+        """The uninstrumented engine (see :meth:`run`)."""
         graph = self.graph
         n = graph.num_vertices
         if len(initial_parts) != n:

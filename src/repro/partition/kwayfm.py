@@ -35,6 +35,7 @@ from repro.hypergraph.hypergraph import Hypergraph
 from repro.partition.balance import BalanceConstraint
 from repro.partition.gainbucket import GainBucket
 from repro.partition.solution import FREE, cut_size, validate_fixture
+from repro.runtime.observe import recorder as _observe
 
 _KWAY_PASS_CAP = 100
 
@@ -166,7 +167,43 @@ class KWayFMRefiner:
 
         ``initial_cut``, when given, must be the exact cut of the forced
         assignment and skips the O(pins) ``cut_size`` evaluation.
+
+        Under an active :mod:`repro.runtime.observe` recorder the run is
+        wrapped in a ``kwayfm.run`` span with one ``kwayfm.pass`` event
+        per pass, emitted after the kernel returns -- traced runs stay
+        bit-identical to untraced ones.
         """
+        recorder = _observe.active()
+        if not recorder.enabled:
+            return self._run(initial_parts, seed, initial_cut)
+        with recorder.span(
+            "kwayfm.run",
+            parts=self.num_parts,
+            movable=len(self._movable),
+        ) as span:
+            result = self._run(initial_parts, seed, initial_cut)
+            span.set(
+                initial_cut=result.initial_cut,
+                final_cut=result.cut,
+                passes=result.num_passes,
+            )
+            recorder.count("kwayfm.runs")
+            recorder.count("kwayfm.passes", result.num_passes)
+            recorder.count("kwayfm.moves", result.total_moves)
+            for pass_index, moves in enumerate(result.pass_moves):
+                recorder.event(
+                    "kwayfm.pass", pass_index=pass_index, moves_made=moves
+                )
+                recorder.hist("kwayfm.pass.moves", moves)
+        return result
+
+    def _run(
+        self,
+        initial_parts: Sequence[int],
+        seed: int = 0,
+        initial_cut: Optional[int] = None,
+    ) -> KWayFMResult:
+        """The uninstrumented engine (see :meth:`run`)."""
         graph = self.graph
         n = graph.num_vertices
         if len(initial_parts) != n:

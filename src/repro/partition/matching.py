@@ -65,6 +65,7 @@ from typing import List, Optional, Sequence
 from repro.hypergraph.contraction import Contraction, contract
 from repro.hypergraph.hypergraph import Hypergraph, HypergraphError
 from repro.partition.solution import FREE, validate_fixture
+from repro.runtime.observe import recorder as _observe
 
 
 def _compatible(f_a: int, f_b: int) -> bool:
@@ -203,6 +204,25 @@ def _adjacency_cache(
     if adj is False:
         adj = cache[key] = [None] * n
     return adj
+
+
+def _record_matching(kind: str, n: int, labels: List[int]) -> List[int]:
+    """Count one finished matching round (pass-through on the labels).
+
+    Pure post-hoc accounting off the finished label vector -- the
+    matching loops themselves carry no instrumentation, so traced and
+    untraced rounds produce identical labels.
+    """
+    recorder = _observe.active()
+    if recorder.enabled:
+        coarse_n = (max(labels) + 1) if labels else 0
+        recorder.count(f"match.{kind}.rounds")
+        recorder.count(f"match.{kind}.merges", n - coarse_n)
+        if n:
+            recorder.hist(
+                "match.shrink_percent", round(100.0 * coarse_n / n)
+            )
+    return labels
 
 
 def _infer_num_parts(fixture: Sequence[int]) -> int:
@@ -379,7 +399,9 @@ def heavy_edge_matching(
             if best_u != -1:
                 match[v] = v
                 match[best_u] = v
-        return _labels_from_match(match, _SCRATCH)
+        return _record_matching(
+            "heavy", n, _labels_from_match(match, _SCRATCH)
+        )
 
     for v in order:
         if match[v] != -1:
@@ -453,7 +475,9 @@ def heavy_edge_matching(
             match[v] = v
             match[best_u] = v
 
-    return _labels_from_match(match, _SCRATCH)
+    return _record_matching(
+        "heavy", n, _labels_from_match(match, _SCRATCH)
+    )
 
 
 def random_matching(
@@ -562,7 +586,9 @@ def random_matching(
             if candidates:
                 match[v] = v
                 match[rng.choice(candidates)] = v
-        return _labels_from_match(match, scratch)
+        return _record_matching(
+            "random", n, _labels_from_match(match, scratch)
+        )
 
     for v in order:
         if match[v] != -1:
@@ -606,7 +632,9 @@ def random_matching(
             match[v] = v
             match[rng.choice(candidates)] = v
 
-    return _labels_from_match(match, scratch)
+    return _record_matching(
+        "random", n, _labels_from_match(match, scratch)
+    )
 
 
 def coarsen(

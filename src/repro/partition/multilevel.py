@@ -33,6 +33,7 @@ from repro.partition.matching import (
     random_matching,
 )
 from repro.partition.solution import FREE, Bipartition, validate_fixture
+from repro.runtime.observe import recorder as _observe
 
 MATCHING_SCHEMES = ("heavy", "random")
 
@@ -120,15 +121,43 @@ class MultilevelBipartitioner:
 
     # ------------------------------------------------------------------
     def run(self, seed: int = 0) -> MultilevelResult:
-        """One full multilevel start, deterministic in ``seed``."""
+        """One full multilevel start, deterministic in ``seed``.
+
+        With an active trace recorder the run is wrapped in a
+        ``multilevel`` span (coarsening, initial partitioning, and
+        per-level refinement appear as child spans); with the default
+        null recorder this delegates straight to the engine.
+        """
+        recorder = _observe.active()
+        if not recorder.enabled:
+            return self._run(seed)
+        with recorder.span("multilevel", seed=seed) as span:
+            result = self._run(seed)
+            span.set(
+                levels=result.num_levels,
+                coarsest_vertices=result.coarsest_vertices,
+                passes=result.refinement_passes,
+                final_cut=result.solution.cut,
+            )
+            recorder.count("multilevel.runs")
+            recorder.count("multilevel.levels", result.num_levels)
+        return result
+
+    def _run(self, seed: int = 0) -> MultilevelResult:
+        """The uninstrumented engine (see :meth:`run`)."""
+        rec = _observe.active()
         rng = random.Random(seed)
         levels = self._build_hierarchy(rng)
         coarsest_graph = levels[-1].coarse if levels else self.graph
         coarsest_fixture = levels[-1].fixture if levels else self.fixture
 
-        parts, cut, passes = self._initial_partition(
-            coarsest_graph, coarsest_fixture, rng
-        )
+        with rec.span(
+            "initial_partition", vertices=coarsest_graph.num_vertices
+        ) as sp:
+            parts, cut, passes = self._initial_partition(
+                coarsest_graph, coarsest_fixture, rng
+            )
+            sp.set(cut=cut)
 
         # Uncoarsen with FM refinement at every level.  levels[i] maps
         # between graphs[i] (fine) and levels[i].coarse; graphs[0] is the
@@ -141,16 +170,22 @@ class MultilevelBipartitioner:
             parts = levels[i].project(parts)
             fine_graph = levels[i - 1].coarse if i > 0 else self.graph
             fine_fixture = levels[i - 1].fixture if i > 0 else self.fixture
-            result = self._flat_engine(fine_graph, fine_fixture).run(
-                parts, initial_cut=cut
-            )
+            with rec.span(
+                "refine", level=i, vertices=fine_graph.num_vertices
+            ) as sp:
+                result = self._flat_engine(fine_graph, fine_fixture).run(
+                    parts, initial_cut=cut
+                )
+                sp.set(cut=result.solution.cut)
             parts = result.solution.parts
             cut = result.solution.cut
             passes += result.num_passes
 
         vcycles_run = 0
         for _ in range(self.config.vcycles):
-            parts, cut, extra = self._vcycle(parts, cut, rng)
+            with rec.span("vcycle", index=vcycles_run) as sp:
+                parts, cut, extra = self._vcycle(parts, cut, rng)
+                sp.set(cut=cut)
             passes += extra
             vcycles_run += 1
 
@@ -176,6 +211,7 @@ class MultilevelBipartitioner:
         the current solution stays representable at every coarse level.
         """
         cfg = self.config
+        rec = _observe.active()
         levels: List[CoarseLevel] = []
         graph = self.graph
         fixture = self.fixture
@@ -192,11 +228,20 @@ class MultilevelBipartitioner:
             # guard-legal merge is fixture-legal because fixed vertices
             # always sit inside their own block.
             matcher_fixture = guard if guard is not None else fixture
-            labels = self._match(graph, matcher_fixture, rng, max_cluster_area)
-            coarse_n = max(labels) + 1
-            if coarse_n >= cfg.clustering_ratio * graph.num_vertices:
-                break
-            level = self._coarsen(graph, fixture, labels)
+            with rec.span(
+                "coarsen",
+                level=len(levels),
+                fine_vertices=graph.num_vertices,
+            ) as sp:
+                labels = self._match(
+                    graph, matcher_fixture, rng, max_cluster_area
+                )
+                coarse_n = max(labels) + 1
+                sp.set(coarse_vertices=coarse_n)
+                if coarse_n >= cfg.clustering_ratio * graph.num_vertices:
+                    sp.set(stopped=True)
+                    break
+                level = self._coarsen(graph, fixture, labels)
             levels.append(level)
             graph = level.coarse
             fixture = level.fixture

@@ -43,6 +43,7 @@ from repro.runtime import (
     derive_start_seeds,
     parallel_map,
 )
+from repro.runtime.observe import recorder as _observe
 
 
 @dataclass
@@ -169,36 +170,47 @@ def run_multistart(
             )
         start_seeds = list(seeds)
 
-    calls = parallel_map(
-        run_one,
-        start_seeds,
-        jobs=jobs,
-        timed=True,
-        policy=policy,
-        checkpoint=checkpoint,
-    )
-    result = MultistartResult()
-    for call in calls:
-        if isinstance(call, Quarantined):
+    recorder = _observe.active()
+    with recorder.span("multistart", starts=num_starts, jobs=jobs) as sp:
+        calls = parallel_map(
+            run_one,
+            start_seeds,
+            jobs=jobs,
+            timed=True,
+            policy=policy,
+            checkpoint=checkpoint,
+        )
+        result = MultistartResult()
+        for call in calls:
+            if isinstance(call, Quarantined):
+                result.starts.append(
+                    StartOutcome(
+                        cut=None,
+                        parts=[],
+                        seconds=0.0,
+                        cpu_seconds=0.0,
+                        quarantined=call.reason,
+                    )
+                )
+                continue
+            solution = call.value
             result.starts.append(
                 StartOutcome(
-                    cut=None,
-                    parts=[],
-                    seconds=0.0,
-                    cpu_seconds=0.0,
-                    quarantined=call.reason,
+                    cut=solution.cut,
+                    parts=list(solution.parts),
+                    seconds=call.seconds,
+                    cpu_seconds=call.cpu_seconds,
                 )
             )
-            continue
-        solution = call.value
-        result.starts.append(
-            StartOutcome(
-                cut=solution.cut,
-                parts=list(solution.parts),
-                seconds=call.seconds,
-                cpu_seconds=call.cpu_seconds,
-            )
-        )
+        if recorder.enabled:
+            recorder.count("multistart.batches")
+            recorder.count("multistart.starts", result.num_starts)
+            quarantined = result.num_quarantined
+            if quarantined:
+                recorder.count("multistart.quarantined", quarantined)
+            healthy = [s.cut for s in result.starts if s.healthy]
+            if healthy:
+                sp.set(best_cut=min(healthy))
     return result
 
 

@@ -23,11 +23,15 @@ layer every harness in the repo shares:
   available cores"; ``REPRO_JOBS`` supplies a validated default);
 * :class:`TimedCall` / :func:`timed_call` -- wall-clock *and* CPU-time
   measurement of one task, taken inside the worker so CPU columns stay
-  pool-size-invariant.
+  pool-size-invariant;
+* :mod:`repro.runtime.observe` -- the tracing/metrics layer
+  (:class:`TraceRecorder`, disabled by default via
+  :class:`NullRecorder`); ``parallel_map`` ships each traced worker's
+  span/counter fragment home and merges it into the parent recorder.
 
-See ``docs/performance.md`` for the determinism contract and
+See ``docs/performance.md`` for the determinism contract,
 ``docs/robustness.md`` for the failure model, checkpoint format and
-resume semantics.
+resume semantics, and ``docs/observability.md`` for the event model.
 """
 
 from repro.runtime.checkpoint import (
@@ -45,6 +49,7 @@ from repro.runtime.errors import (
     WorkerCrash,
     WorkerTimeout,
 )
+from repro.runtime import observe
 from repro.runtime.faults import (
     FaultPlan,
     InjectedFault,
@@ -61,6 +66,7 @@ from repro.runtime.pool import (
     parse_jobs,
     resolve_jobs,
 )
+from repro.runtime.observe import NullRecorder, TracedValue, TraceRecorder
 from repro.runtime.seeds import derive_start_seeds, spawn_seed
 from repro.runtime.timing import TimedCall, timed_call
 
@@ -73,17 +79,21 @@ __all__ = [
     "InjectedFault",
     "ItemFailed",
     "JournalNamespace",
+    "NullRecorder",
     "PoolFault",
     "Quarantined",
     "QuarantineWarning",
     "RetryPolicy",
     "SerialFallbackWarning",
     "TimedCall",
+    "TracedValue",
+    "TraceRecorder",
     "WorkerCrash",
     "WorkerTimeout",
     "corrupt_checkpoint_record",
     "derive_start_seeds",
     "jobs_from_env",
+    "observe",
     "parallel_map",
     "parse_fault_spec",
     "parse_jobs",

@@ -40,6 +40,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.runtime.errors import CheckpointError
+from repro.runtime.observe import recorder as _observe
 
 PathLike = Union[str, Path]
 
@@ -150,6 +151,12 @@ class CheckpointJournal:
                 continue
             self._cells[key] = record
             self._lines.append(line)
+        rec = _observe.active()
+        if rec.enabled:
+            rec.count("checkpoint.resumes")
+            rec.count("checkpoint.loaded_cells", len(self._cells))
+            if self.corrupt_lines:
+                rec.count("checkpoint.corrupt_lines", self.corrupt_lines)
 
     def _flush(self) -> None:
         """Atomically persist the journal (tmp file + replace, fsync'd)."""
@@ -197,6 +204,9 @@ class CheckpointJournal:
         self._cells[(batch, index)] = record
         self._lines.append(json.dumps(record, sort_keys=True))
         self._flush()
+        rec = _observe.active()
+        if rec.enabled:
+            rec.count("checkpoint.writes")
 
     def record_quarantine(
         self, batch: str, index: int, item: Any, reason: str
@@ -212,6 +222,9 @@ class CheckpointJournal:
         self._cells[(batch, index)] = record
         self._lines.append(json.dumps(record, sort_keys=True))
         self._flush()
+        rec = _observe.active()
+        if rec.enabled:
+            rec.count("checkpoint.quarantine_writes")
 
     def completed_cells(self) -> int:
         """Number of journaled cells holding a value."""

@@ -51,7 +51,9 @@ from typing import (
     Union,
 )
 
+from repro.runtime import observe
 from repro.runtime.checkpoint import CheckpointBatch, is_miss
+from repro.runtime.observe import TracedValue, TraceRecorder
 from repro.runtime.errors import (
     ItemFailed,
     PoolFault,
@@ -181,24 +183,42 @@ DEFAULT_POLICY = ExecutionPolicy()
 _WORKER_TASK: Optional[Callable[[Any], Any]] = None
 _WORKER_TIMED = False
 _WORKER_PLAN: Optional[FaultPlan] = None
+_WORKER_OBSERVED = False
 
 
 def _init_worker(
-    task: Callable[[Any], Any], timed: bool, plan: Optional[FaultPlan]
+    task: Callable[[Any], Any],
+    timed: bool,
+    plan: Optional[FaultPlan],
+    observed: bool = False,
 ) -> None:
-    global _WORKER_TASK, _WORKER_TIMED, _WORKER_PLAN
+    global _WORKER_TASK, _WORKER_TIMED, _WORKER_PLAN, _WORKER_OBSERVED
     _WORKER_TASK = task
     _WORKER_TIMED = timed
     _WORKER_PLAN = plan
+    _WORKER_OBSERVED = observed
 
 
 def _run_item(index: int, item: Any) -> Any:
     assert _WORKER_TASK is not None, "worker initializer did not run"
     if _WORKER_PLAN is not None:
         _WORKER_PLAN.fire(index)
-    if _WORKER_TIMED:
-        return timed_call(_WORKER_TASK, item)
-    return _WORKER_TASK(item)
+    if not _WORKER_OBSERVED:
+        if _WORKER_TIMED:
+            return timed_call(_WORKER_TASK, item)
+        return _WORKER_TASK(item)
+    # Tracing enabled in the parent: record this item into a fresh
+    # recorder and ship the fragment home with the result.  Faults fire
+    # *before* the recorder exists, and a crashed/hung/raising attempt
+    # never returns a fragment -- so a retried item contributes spans
+    # and counters exactly once, from its successful attempt.
+    recorder = TraceRecorder()
+    with observe.use(recorder):
+        if _WORKER_TIMED:
+            value = timed_call(_WORKER_TASK, item)
+        else:
+            value = _WORKER_TASK(item)
+    return TracedValue(value, recorder.fragment())
 
 
 def _format_traceback(exc: BaseException) -> str:
@@ -208,6 +228,9 @@ def _format_traceback(exc: BaseException) -> str:
 
 
 def _warn_serial_fallback(message: str, cause: Optional[BaseException]) -> None:
+    recorder = observe.active()
+    if recorder.enabled:
+        recorder.count("pool.serial_fallbacks")
     warning = SerialFallbackWarning(
         f"{message}; running serially"
         + (f" (caused by {cause!r})" if cause is not None else "")
@@ -254,6 +277,7 @@ def parallel_map(
 
     results: List[Any] = [None] * len(items)
     pending: List[int] = list(range(len(items)))
+    recorder = observe.active()
     if checkpoint is not None:
         missing = []
         for i in pending:
@@ -262,6 +286,13 @@ def parallel_map(
                 missing.append(i)
             else:
                 results[i] = hit
+        if recorder.enabled and len(missing) < len(pending):
+            # Journaled cells are served without re-execution, so they
+            # leave no spans in the trace -- this counter is the audit
+            # trail for why a resumed study's trace looks thinner.
+            recorder.count(
+                "pool.journal_hits", len(pending) - len(missing)
+            )
         pending = missing
     if not pending:
         return results
@@ -303,6 +334,7 @@ def _serial_run(
     which is the scenario the checkpoint journal exists for.
     """
     retry = policy.retry
+    recorder = observe.active()
     for i in pending:
         attempt = 0
         while True:
@@ -313,12 +345,16 @@ def _serial_run(
                 value = timed_call(task, items[i]) if timed else task(items[i])
             except Exception as exc:  # noqa: BLE001 - routed by policy
                 if retry.retry_task_errors and attempt < retry.max_attempts:
+                    if recorder.enabled:
+                        recorder.count("pool.retries")
                     time.sleep(retry.delay(i, attempt))
                     continue
                 _fail_item(i, items[i], attempt, exc, policy, checkpoint,
                            results, raise_original=not retry.retry_task_errors)
                 break
             results[i] = value
+            if recorder.enabled:
+                recorder.count("pool.items_executed")
             if checkpoint is not None:
                 checkpoint.record(i, items[i], value)
             break
@@ -343,6 +379,9 @@ def _fail_item(
     """
     reason = f"{type(fault).__name__}: {fault}"
     if policy.quarantine:
+        recorder = observe.active()
+        if recorder.enabled:
+            recorder.count("pool.quarantined")
         row = Quarantined(
             index=index, seed=seed_of(item), attempts=attempts, reason=reason
         )
@@ -408,13 +447,24 @@ def _pool_run(
     to the serial path.
     """
     retry = policy.retry
+    recorder = observe.active()
+    observed = recorder.enabled
     queue = deque(pending)
     attempts: Dict[int, int] = {i: 0 for i in pending}
     pool: Optional[ProcessPoolExecutor] = None
     in_flight: Dict[Any, int] = {}
     deadlines: Dict[Any, float] = {}
+    # index -> worker trace fragment, merged *after* the map completes
+    # in index order -- the merged span sequence then matches what a
+    # serial run records, whatever order the pool finished items in.
+    fragments: Dict[int, dict] = {}
     completed_since_spawn = 0
     barren_spawns = 0
+
+    def merge_fragments() -> None:
+        for index in sorted(fragments):
+            recorder.merge_fragment(fragments[index])
+        fragments.clear()
 
     def fallback_serial(message: str, cause: Optional[BaseException]) -> None:
         remaining = sorted(set(queue) | set(in_flight.values()))
@@ -422,6 +472,7 @@ def _pool_run(
         deadlines.clear()
         if pool is not None:
             _terminate_pool(pool)
+        merge_fragments()
         _warn_serial_fallback(message, cause)
         _serial_run(task, items, remaining, results, timed,
                     policy, checkpoint, plan)
@@ -431,8 +482,15 @@ def _pool_run(
 
         Returns True when the engine should keep going (the item was
         requeued or quarantined)."""
+        if observed:
+            if isinstance(fault, WorkerTimeout):
+                recorder.count("pool.worker_timeouts")
+            elif isinstance(fault, WorkerCrash):
+                recorder.count("pool.worker_crashes")
         attempts[index] += 1
         if attempts[index] < retry.max_attempts:
+            if observed:
+                recorder.count("pool.retries")
             queue.append(index)
             return True
         if policy.quarantine:
@@ -451,7 +509,7 @@ def _pool_run(
                 pool = ProcessPoolExecutor(
                     max_workers=jobs,
                     initializer=_init_worker,
-                    initargs=(task, timed, plan),
+                    initargs=(task, timed, plan, observed),
                 )
             except (OSError, PermissionError, ValueError) as exc:
                 fallback_serial("process pool unavailable", exc)
@@ -516,8 +574,13 @@ def _pool_run(
                     continue
                 _terminate_pool(pool)
                 raise exc
+            if observed and isinstance(value, TracedValue):
+                fragments[i] = value.fragment
+                value = value.value
             results[i] = value
             completed_since_spawn += 1
+            if observed:
+                recorder.count("pool.items_executed")
             if checkpoint is not None:
                 checkpoint.record(i, items[i], value)
 
@@ -589,5 +652,6 @@ def _pool_run(
                         delay = max(delay, retry.delay(i, attempts[i]))
                 time.sleep(delay)
 
+    merge_fragments()
     if pool is not None:
         pool.shutdown(wait=True)

@@ -6,6 +6,8 @@ import random
 
 import pytest
 
+from repro.runtime.observe import recorder as _observe_recorder
+
 from repro.hypergraph import (
     CircuitSpec,
     Hypergraph,
@@ -15,6 +17,13 @@ from repro.hypergraph import (
     grid_hypergraph,
 )
 from repro.partition import relative_bipartition_balance
+
+
+@pytest.fixture(autouse=True)
+def _reset_observe_recorder():
+    """Restore the global null recorder, even if a test failed mid-use."""
+    yield
+    _observe_recorder.set_recorder(None)
 
 
 @pytest.fixture

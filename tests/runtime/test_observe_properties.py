@@ -1,0 +1,220 @@
+"""Property tests for the tracing layer (Hypothesis).
+
+Three guarantees the rest of the PR leans on:
+
+* span nesting is **well-formed under arbitrary open/close
+  interleavings** -- closing a span closes anything still open above
+  it, double-closes are no-ops, and the resulting forest is a proper
+  tree (every child's lifetime sits inside its parent's);
+* counter/histogram **merging is associative and commutative**, which
+  is what lets the pool fold worker fragments in any grouping without
+  changing a single total;
+* traces **survive serialization round-trips** exactly (modulo the
+  float identity of JSON, which is exact for Python floats).
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.observe import TraceRecorder
+from repro.runtime.observe.trace import (
+    Trace,
+    merge_counters,
+    merge_histograms,
+    trace_shape,
+)
+
+# -- span nesting -----------------------------------------------------
+
+# A program is a list of operations: "open" pushes a new span; an int k
+# closes the span opened k-th (if still open -- possibly a double
+# close); "event" attaches an event to whatever is innermost.
+_OPS = st.lists(
+    st.one_of(
+        st.just("open"),
+        st.integers(min_value=0, max_value=30),
+        st.just("event"),
+    ),
+    max_size=60,
+)
+
+
+@given(ops=_OPS)
+@settings(max_examples=200, deadline=None)
+def test_span_nesting_well_formed_under_any_interleaving(ops):
+    rec = TraceRecorder()
+    opened = []
+    for op in ops:
+        if op == "open":
+            opened.append(rec.open_span(f"s{len(opened)}"))
+        elif op == "event":
+            rec.event("e", n=len(opened))
+        elif op < len(opened):
+            rec.close_span(opened[op])
+    # Close everything still open, in an arbitrary (reversed-open) order;
+    # implicit closing must cope.
+    for span in reversed(opened):
+        rec.close_span(span)
+
+    assert rec.current_span() is None
+    seen = set()
+    for root in rec.roots:
+        for span in root.walk():
+            # A proper forest: each span appears exactly once.
+            assert id(span) not in seen
+            seen.add(id(span))
+            assert span.closed
+            for child in span.children:
+                # Child lifetimes nest inside the parent's.
+                assert child.start >= span.start
+                assert (
+                    child.start + child.duration
+                    <= span.start + span.duration + 1e-9
+                )
+    assert len(seen) == len(opened)
+
+
+@given(ops=_OPS, close_order=st.permutations(list(range(31))))
+@settings(max_examples=100, deadline=None)
+def test_any_close_order_leaves_no_open_span(ops, close_order):
+    rec = TraceRecorder()
+    opened = []
+    for op in ops:
+        if op == "open":
+            opened.append(rec.open_span(f"s{len(opened)}"))
+        elif op != "event" and op < len(opened):
+            rec.close_span(opened[op])
+    for index in close_order:
+        if index < len(opened):
+            rec.close_span(opened[index])
+    assert rec.current_span() is None
+    assert all(span.closed for span in opened)
+
+
+# -- merge algebra ----------------------------------------------------
+
+_COUNTERS = st.dictionaries(
+    st.sampled_from(["a", "b", "c", "d"]),
+    st.integers(min_value=-10**6, max_value=10**6),
+    max_size=4,
+)
+
+_HISTOGRAMS = st.dictionaries(
+    st.sampled_from(["h1", "h2"]),
+    st.dictionaries(
+        st.integers(min_value=-50, max_value=50),
+        st.integers(min_value=1, max_value=100),
+        max_size=5,
+    ),
+    max_size=2,
+)
+
+
+def _merged_counters(*parts):
+    out = {}
+    for part in parts:
+        merge_counters(out, part)
+    return out
+
+
+def _merged_histograms(*parts):
+    out = {}
+    for part in parts:
+        merge_histograms(out, part)
+    return out
+
+
+@given(a=_COUNTERS, b=_COUNTERS)
+def test_counter_merge_commutative(a, b):
+    assert _merged_counters(a, b) == _merged_counters(b, a)
+
+
+@given(a=_COUNTERS, b=_COUNTERS, c=_COUNTERS)
+def test_counter_merge_associative(a, b, c):
+    left = _merged_counters(_merged_counters(a, b), c)
+    right = _merged_counters(a, _merged_counters(b, c))
+    assert left == right
+
+
+@given(a=_HISTOGRAMS, b=_HISTOGRAMS)
+def test_histogram_merge_commutative(a, b):
+    assert _merged_histograms(a, b) == _merged_histograms(b, a)
+
+
+@given(a=_HISTOGRAMS, b=_HISTOGRAMS, c=_HISTOGRAMS)
+def test_histogram_merge_associative(a, b, c):
+    left = _merged_histograms(_merged_histograms(a, b), c)
+    right = _merged_histograms(a, _merged_histograms(b, c))
+    assert left == right
+
+
+@given(a=_HISTOGRAMS, b=_HISTOGRAMS)
+def test_histogram_merge_accepts_json_string_keys(a, b):
+    # Fresh-off-JSON fragments carry string bucket keys; merging them
+    # must land in the same integer buckets.
+    b_as_json = {
+        name: {str(k): v for k, v in buckets.items()}
+        for name, buckets in b.items()
+    }
+    assert _merged_histograms(a, b_as_json) == _merged_histograms(a, b)
+
+
+# -- serialization round-trip -----------------------------------------
+
+_ATTR_VALUES = st.one_of(
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12),
+    st.booleans(),
+)
+
+
+@st.composite
+def _recorders(draw):
+    rec = TraceRecorder(meta=draw(
+        st.dictionaries(st.text(max_size=6), _ATTR_VALUES, max_size=3)
+    ))
+    for name, value in draw(_COUNTERS).items():
+        rec.count(name, value)
+    for name, buckets in draw(_HISTOGRAMS).items():
+        for key, occurrences in buckets.items():
+            for _ in range(min(occurrences, 3)):
+                rec.hist(name, key)
+    ops = draw(_OPS)
+    opened = []
+    for op in ops:
+        if op == "open":
+            attrs = draw(st.dictionaries(
+                st.sampled_from(["x", "y"]), _ATTR_VALUES, max_size=2
+            ))
+            opened.append(rec.open_span(f"s{len(opened)}", attrs))
+        elif op == "event":
+            rec.event("e", n=len(opened))
+        elif op < len(opened):
+            rec.close_span(opened[op])
+    for span in reversed(opened):
+        rec.close_span(span)
+    return rec
+
+
+@given(rec=_recorders())
+@settings(max_examples=100, deadline=None)
+def test_trace_serialization_round_trips(rec):
+    payload = rec.to_dict()
+    # Through actual JSON text, not just dict structure.
+    reloaded = Trace.from_dict(json.loads(json.dumps(payload)))
+    assert reloaded.to_dict() == payload
+    assert trace_shape(reloaded) == trace_shape(rec.trace())
+    assert reloaded.meta == rec.meta
+
+
+@given(rec=_recorders())
+@settings(max_examples=50, deadline=None)
+def test_fragment_merge_into_fresh_recorder_preserves_totals(rec):
+    parent = TraceRecorder()
+    parent.merge_fragment(rec.fragment())
+    assert parent.counters == rec.counters
+    assert parent.histograms == rec.histograms
+    assert [s.name for s in parent.roots] == [s.name for s in rec.roots]
